@@ -1,0 +1,294 @@
+// Package repro_test is the benchmark harness: one benchmark per table
+// and figure of the paper (each delegating to the same experiment code
+// cmd/plcbench renders), the ablation benches DESIGN.md calls out, and
+// microbenchmarks of the performance-critical building blocks.
+//
+// Benchmarks use deliberately short virtual horizons per iteration so
+// that -bench=. completes quickly; the paper-scale runs are the domain
+// of cmd/plcbench (without -quick) and EXPERIMENTS.md records their
+// output.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/backoff"
+	"repro/internal/boost"
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/hpav"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// BenchmarkTable1Defaults regenerates the Table 1 constants table.
+func BenchmarkTable1Defaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1()
+		if len(t.Rows) != 4 {
+			b.Fatal("wrong table")
+		}
+	}
+}
+
+// BenchmarkFigure1BackoffTrace regenerates the two-station backoff
+// evolution trace of Figure 1.
+func BenchmarkFigure1BackoffTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Figure1(3, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkTable2CollisionCounters regenerates the ΣC/ΣA counter table
+// of Table 2 through the emulated testbed's MME counters.
+func BenchmarkTable2CollisionCounters(b *testing.B) {
+	cfg := experiments.Table2Config{Ns: []int{1, 4, 7}, DurationMicros: 4e6, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2CollisionProbability regenerates the three-way
+// validation figure: simulation, analysis and emulated measurements.
+func BenchmarkFigure2CollisionProbability(b *testing.B) {
+	cfg := experiments.Figure2Config{
+		Ns: []int{2, 5, 7}, Tests: 2,
+		TestDurationMicros: 3e6, SimTimeMicros: 6e6, Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		points, _, err := experiments.Figure2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 3 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkThroughputVsN regenerates the E1 protocol comparison.
+func BenchmarkThroughputVsN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ThroughputVsN([]int{1, 5, 10}, 4e6, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBoostConfigSearch regenerates the E2 configuration search
+// (model scoring of the full grid plus simulator validation of the
+// leaders).
+func BenchmarkBoostConfigSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Boost([]int{2, 5}, 2e6, 2, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnifferOverhead regenerates the E3 sniffer capture analysis.
+func BenchmarkSnifferOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Sniffer(3, 4e6, 100_000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShortTermFairness regenerates the E4 sliding-window
+// comparison of 1901 and 802.11.
+func BenchmarkShortTermFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ShortTermFairness(2, []int{10, 100}, 8e6, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDeferral regenerates the deferral-counter ablation.
+func BenchmarkAblationDeferral(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDeferral([]int{7}, 4e6, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBurstSize regenerates the burst-size ablation.
+func BenchmarkAblationBurstSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBurstSize(3, 3e6, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorAgreement regenerates the cross-implementation
+// agreement check.
+func BenchmarkSimulatorAgreement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SimulatorAgreement([]int{3}, 4e6, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelSolvers compares the fixed-point strategies (the solver
+// ablation): damped iteration vs forced bisection.
+func BenchmarkModelSolvers(b *testing.B) {
+	params := config.DefaultCA1()
+	b.Run("damped", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := model.Solve(10, params, model.Options{Damping: 0.25}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bisection", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := model.Solve(10, params, model.Options{MaxIterations: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBackoffStep measures the pure per-slot cost of the 1901
+// backoff engine — the inner loop of every simulation.
+func BenchmarkBackoffStep(b *testing.B) {
+	s := backoff.NewStation(config.DefaultCA1(), rng.New(1))
+	a := s.Start()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a == backoff.Transmit {
+			a = s.AfterBusy(true, i&1 == 0)
+		} else {
+			a = s.AfterIdle()
+		}
+	}
+}
+
+// BenchmarkSimEngine measures the slot-synchronous simulator's event
+// rate at N=5 and reports simulated µs per wall-clock ns.
+func BenchmarkSimEngine(b *testing.B) {
+	b.ReportAllocs()
+	var simulated float64
+	for i := 0; i < b.N; i++ {
+		in := sim.DefaultInputs(5)
+		in.SimTime = 1e6
+		in.Seed = uint64(i + 1)
+		e, err := sim.NewEngine(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := e.Run()
+		simulated += r.Elapsed
+	}
+	b.ReportMetric(simulated/float64(b.Elapsed().Nanoseconds()), "simulated-µs/ns")
+}
+
+// BenchmarkMACNetwork measures the event-driven MAC's rate on the
+// paper's 7-station saturated scenario.
+func BenchmarkMACNetwork(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb, err := testbed.New(testbed.Options{N: 7, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.Run(1e6)
+	}
+}
+
+// BenchmarkMMECodec measures the stats-confirm marshal/unmarshal round
+// trip, the hot path of the UDP management plane.
+func BenchmarkMMECodec(b *testing.B) {
+	frame := &hpav.Frame{
+		ODA: hpav.MAC{0, 0xB0, 0x52, 0, 0, 1}, OSA: hpav.MAC{0, 0xB0, 0x52, 0, 0, 2},
+		Type: hpav.MMTypeStatsCnf, OUI: hpav.IntellonOUI,
+		Payload: (&hpav.StatsCnf{Acked: 162220, Collided: 25}).Marshal(),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		raw := frame.Marshal()
+		f, err := hpav.Unmarshal(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := hpav.UnmarshalStatsCnf(f.Payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRNG measures the backoff-draw rate of the PRNG.
+func BenchmarkRNG(b *testing.B) {
+	src := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = src.Backoff(64)
+	}
+}
+
+// BenchmarkBoostModelScore measures the model-side scoring cost of one
+// candidate across four contention levels — the unit the search pays
+// per grid point.
+func BenchmarkBoostModelScore(b *testing.B) {
+	p := config.DefaultCA1()
+	for i := 0; i < b.N; i++ {
+		if _, err := boost.ScoreModel(p, []int{2, 5, 10, 15}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAccessDelay regenerates the E5 delay-vs-N experiment.
+func BenchmarkAccessDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AccessDelay([]int{1, 5}, 4e6, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDelayVsLoad regenerates the E6 hockey-stick experiment.
+func BenchmarkDelayVsLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DelayVsLoad(3, []float64{0.1, 0.5}, 4e6, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelAccuracy regenerates the E7 decoupling-error table.
+func BenchmarkModelAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ModelAccuracy([]int{2, 5}, 4e6, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoexistence regenerates the E8 heterogeneous-configuration
+// experiment.
+func BenchmarkCoexistence(b *testing.B) {
+	inf := 1 << 20
+	aggr := config.Params{Name: "aggr", CW: []int{4, 8, 16, 32}, DC: []int{inf, inf, inf, inf}}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Coexistence(aggr, 3, 4e6, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package repro_test
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCLIPipeline builds the actual binaries and replays the paper's
+// Section 3 measurement session against them: plcd hosts the emulated
+// power strip; ampstat resets, runs and fetches; faifa sniffs. This is
+// the repository's outermost integration test — it exercises flag
+// parsing, UDP framing, the MME codecs, the device firmware and the MAC
+// in one pass.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"plcd", "ampstat", "faifa", "sim1901", "plcbench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	// Start the daemon on an ephemeral port and scrape it from stdout.
+	plcd := exec.Command(filepath.Join(bin, "plcd"), "-n", "3", "-listen", "127.0.0.1:0", "-seed", "5")
+	stdout, err := plcd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plcd.Stderr = os.Stderr
+	if err := plcd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		plcd.Process.Kill()
+		plcd.Wait()
+	}()
+
+	var addr string
+	scanner := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	done := make(chan struct{})
+	go func() {
+		for scanner.Scan() {
+			if m := addrRe.FindStringSubmatch(scanner.Text()); m != nil {
+				addr = m[1]
+				close(done)
+				// keep draining so plcd never blocks on stdout
+				for scanner.Scan() {
+				}
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-deadline:
+		t.Fatal("plcd never printed its address")
+	}
+
+	run := func(tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, tool), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+		}
+		return string(out)
+	}
+
+	// The Section 3.2 session.
+	run("ampstat", "-host", addr, "-op", "reset", "-all", "-n", "3")
+	run("ampstat", "-host", addr, "-op", "run", "-duration", "20")
+	out := run("ampstat", "-host", addr, "-op", "collision", "-all", "-n", "3")
+
+	p := extractFloat(t, out, `collision_pr = ([0-9.]+)`)
+	if p <= 0.05 || p > 0.25 {
+		t.Errorf("CLI collision probability %v outside the N=3 band (output:\n%s)", p, out)
+	}
+	acked := extractFloat(t, out, `sum_acked\s+= ([0-9]+)`)
+	if acked <= 0 {
+		t.Errorf("no acked frames reported:\n%s", out)
+	}
+
+	// The Section 3.3 session: sniff 5 virtual seconds at D.
+	fout := run("faifa", "-host", addr, "-duration", "5")
+	if !strings.Contains(fout, "dominant burst size = 2") {
+		t.Errorf("faifa did not find the paper's burst size:\n%s", fout)
+	}
+	mpdus := extractFloat(t, fout, `captured MPDUs\s+= ([0-9]+)`)
+	if mpdus <= 0 {
+		t.Errorf("faifa captured nothing:\n%s", fout)
+	}
+
+	// The published simulator invocation through its CLI.
+	sout := run("sim1901", "-n", "3", "-sim-time", "2e7")
+	sp := extractFloat(t, sout, `collision_pr\s+= ([0-9.]+)`)
+	if d := sp - p; d > 0.04 || d < -0.04 {
+		t.Errorf("CLI simulator %v vs CLI measurement %v disagree", sp, p)
+	}
+
+	// plcbench smoke: one quick experiment, markdown on stdout.
+	bout := run("plcbench", "-quick", "-exp", "table1")
+	if !strings.Contains(bout, "| 0 | 0 | 8 | 0 | 8 | 0 |") {
+		t.Errorf("plcbench table1 wrong:\n%s", bout)
+	}
+}
+
+func extractFloat(t *testing.T, s, pattern string) float64 {
+	t.Helper()
+	m := regexp.MustCompile(pattern).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("output does not match %q:\n%s", pattern, s)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("bad number %q: %v", m[1], err)
+	}
+	return v
+}
+
+// TestSim1901CLIRejectsBadVectors covers the CLI's input validation.
+func TestSim1901CLIRejectsBadVectors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	path := filepath.Join(bin, "sim1901")
+	if out, err := exec.Command("go", "build", "-o", path, "./cmd/sim1901").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	cases := [][]string{
+		{"-cw", "8,16", "-dc", "0"}, // length mismatch
+		{"-cw", "abc", "-dc", "0"},  // not a number
+		{"-n", "0"},                 // no stations
+		{"-cw", "0,16,32,64"},       // zero window
+	}
+	for _, args := range cases {
+		cmd := exec.Command(path, args...)
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Errorf("sim1901 %v accepted bad input:\n%s", args, out)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command ampstat reimplements the statistics workflow of the Atheros
+// Open Powerline Toolkit tool of the same name against the emulated
+// power strip (cmd/plcd): reset or fetch the acknowledged/collided
+// MPDU counters of a link through the vendor MME with MMType 0xA030,
+// and compute the collision probability ΣCᵢ/ΣAᵢ across stations as the
+// paper does in Section 3.2.
+//
+// Operations:
+//
+//	-op reset      reset the tx counters (one device, or -all)
+//	-op fetch      print the tx counters (one device, or -all)
+//	-op collision  fetch all stations and print ΣC, ΣA and ΣC/ΣA
+//	-op run        advance the emulator's virtual clock by -duration
+//
+// Station addressing follows plcd's startup output; -all iterates the
+// conventional station addresses for -n stations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/device"
+	"repro/internal/hpav"
+	"repro/internal/testbed"
+)
+
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"ampstat:"}, args...)...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		host     = flag.String("host", "127.0.0.1:5277", "UDP address of plcd")
+		op       = flag.String("op", "fetch", "reset | fetch | collision | run")
+		devFlag  = flag.String("device", "", "target device MAC (aa:bb:cc:dd:ee:ff)")
+		peerFlag = flag.String("peer", testbed.DstAddr.String(), "link peer MAC (destination D)")
+		priFlag  = flag.String("priority", "CA1", "priority class of the link")
+		all      = flag.Bool("all", false, "apply to all -n conventional station addresses")
+		n        = flag.Int("n", 2, "station count for -all")
+		duration = flag.Float64("duration", 240, "run duration in seconds (op=run)")
+	)
+	flag.Parse()
+
+	cli, err := device.Dial(*host)
+	if err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+
+	pri, err := config.ParsePriority(*priFlag)
+	if err != nil {
+		fatal(err)
+	}
+	peer, err := hpav.ParseMAC(*peerFlag)
+	if err != nil {
+		fatal("-peer:", err)
+	}
+
+	targets := func() []hpav.MAC {
+		if *all {
+			out := make([]hpav.MAC, *n)
+			for i := range out {
+				out[i] = testbed.StationAddr(i)
+			}
+			return out
+		}
+		if *devFlag == "" {
+			fatal("need -device or -all")
+		}
+		m, err := hpav.ParseMAC(*devFlag)
+		if err != nil {
+			fatal("-device:", err)
+		}
+		return []hpav.MAC{m}
+	}
+
+	switch *op {
+	case "reset":
+		for _, t := range targets() {
+			if err := cli.ResetLink(t, peer, pri); err != nil {
+				fatal("reset", t, ":", err)
+			}
+			fmt.Printf("reset %s → %s (%s)\n", t, peer, pri)
+		}
+
+	case "fetch":
+		for _, t := range targets() {
+			c, err := cli.FetchLink(t, peer, pri)
+			if err != nil {
+				fatal("fetch", t, ":", err)
+			}
+			fmt.Printf("%s → %s (%s): acked=%d collided=%d\n", t, peer, pri, c.Acked, c.Collided)
+		}
+
+	case "collision":
+		var sumC, sumA uint64
+		for _, t := range targets() {
+			c, err := cli.FetchLink(t, peer, pri)
+			if err != nil {
+				fatal("fetch", t, ":", err)
+			}
+			sumC += c.Collided
+			sumA += c.Acked
+		}
+		fmt.Printf("sum_collided = %d\n", sumC)
+		fmt.Printf("sum_acked    = %d\n", sumA)
+		if sumA > 0 {
+			fmt.Printf("collision_pr = %.6f\n", float64(sumC)/float64(sumA))
+		} else {
+			fmt.Println("collision_pr = n/a (no acknowledged frames)")
+		}
+
+	case "run":
+		clock, err := cli.Run(uint64(*duration * 1e6))
+		if err != nil {
+			fatal("run:", err)
+		}
+		fmt.Printf("virtual clock now %.3f s\n", float64(clock)/1e6)
+
+	default:
+		fatal("unknown -op", *op)
+	}
+}

@@ -1,0 +1,104 @@
+// Command faifa reimplements the sniffer workflow of the faifa tool
+// against the emulated power strip: enable the device's sniffer mode
+// (vendor MME 0xA034), receive the SoF delimiters of every PLC frame
+// as live indications, print their fields, and summarize the trace the
+// way Section 3.3 of the paper does — bursts delimited by MPDUCnt = 0,
+// management traffic identified by the LinkID priority, MME overhead
+// as MME bursts over data bursts, and the per-source burst counts used
+// by the fairness study.
+//
+// Typical session (against a running plcd):
+//
+//	faifa -host 127.0.0.1:5277 -duration 240 -print=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/device"
+	"repro/internal/hpav"
+	"repro/internal/testbed"
+)
+
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"faifa:"}, args...)...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		host     = flag.String("host", "127.0.0.1:5277", "UDP address of plcd")
+		devFlag  = flag.String("device", testbed.DstAddr.String(), "device whose sniffer to enable (default: destination D)")
+		duration = flag.Float64("duration", 10, "virtual test duration in seconds")
+		print    = flag.Bool("print", false, "print every captured SoF delimiter")
+		maxCaps  = flag.Int("max", 0, "stop after this many captures (0 = unlimited)")
+	)
+	flag.Parse()
+
+	target, err := hpav.ParseMAC(*devFlag)
+	if err != nil {
+		fatal("-device:", err)
+	}
+
+	// Two endpoints on purpose: the capture client subscribes to the
+	// indication stream; the control client advances the clock without
+	// its confirmations racing the indications.
+	capCli, err := device.Dial(*host)
+	if err != nil {
+		fatal(err)
+	}
+	defer capCli.Close()
+	ctlCli, err := device.Dial(*host)
+	if err != nil {
+		fatal(err)
+	}
+	defer ctlCli.Close()
+
+	if _, err := capCli.Sniffer(target, hpav.SnifferEnable); err != nil {
+		fatal("enable sniffer:", err)
+	}
+	defer capCli.Sniffer(target, hpav.SnifferDisable)
+
+	done := make(chan []hpav.SnifferInd, 1)
+	go func() {
+		caps, err := capCli.ReadCaptures(*maxCaps, 2*time.Second)
+		if err != nil {
+			fatal("captures:", err)
+		}
+		done <- caps
+	}()
+
+	if _, err := ctlCli.Run(uint64(*duration * 1e6)); err != nil {
+		fatal("run:", err)
+	}
+	caps := <-done
+
+	if *print {
+		for _, c := range caps {
+			fmt.Printf("t=%-12d stei=%-3d dtei=%-3d lid=%s mpducnt=%d pbs=%-3d fl=%.0fµs burst=%d\n",
+				c.TimestampMicros, c.SoF.STEI, c.SoF.DTEI, c.SoF.LinkID,
+				c.SoF.MPDUCnt, c.SoF.PBCount, c.SoF.DurationMicros(), c.SoF.BurstID)
+		}
+	}
+
+	a, err := testbed.AnalyzeCaptures(caps, config.CA1)
+	if err != nil {
+		fatal("analyze:", err)
+	}
+	fmt.Printf("captured MPDUs      = %d\n", a.MPDUs)
+	fmt.Printf("data bursts         = %d\n", a.DataBursts)
+	fmt.Printf("MME bursts          = %d\n", a.MgmtBursts)
+	for size := 1; size <= hpav.MaxBurstMPDUs; size++ {
+		fmt.Printf("bursts of %d MPDUs   = %d\n", size, a.BurstSizes[size])
+	}
+	fmt.Printf("dominant burst size = %d\n", a.DominantBurstSize())
+	fmt.Printf("MME overhead        = %.6f\n", a.MMEOverhead())
+	fmt.Println("data bursts per source:")
+	for tei, count := range a.SourceBursts {
+		fmt.Printf("  TEI %-3d: %d\n", tei, count)
+	}
+}

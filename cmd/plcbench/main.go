@@ -1,0 +1,200 @@
+// Command plcbench regenerates every table and figure of the paper
+// (and the extension experiments of DESIGN.md) and renders them as
+// markdown or CSV. It is the one-command reproduction harness:
+//
+//	plcbench                 # everything, paper-scale durations
+//	plcbench -quick          # everything, short durations (~seconds)
+//	plcbench -exp fig2       # one experiment
+//	plcbench -format csv -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+)
+
+type runner func(quick bool) (*experiments.Table, error)
+
+var all = []struct {
+	id  string
+	run runner
+}{
+	{"table1", func(bool) (*experiments.Table, error) { return experiments.Table1(), nil }},
+	{"fig1", func(bool) (*experiments.Table, error) { return experiments.Figure1(3, 12) }},
+	{"table2", func(quick bool) (*experiments.Table, error) {
+		cfg := experiments.DefaultTable2Config()
+		if quick {
+			cfg.DurationMicros = 1e7
+		}
+		return experiments.Table2(cfg)
+	}},
+	{"fig2", func(quick bool) (*experiments.Table, error) {
+		cfg := experiments.DefaultFigure2Config()
+		if quick {
+			cfg.Tests = 3
+			cfg.TestDurationMicros = 1e7
+			cfg.SimTimeMicros = 2e7
+		}
+		_, t, err := experiments.Figure2(cfg)
+		return t, err
+	}},
+	{"throughput", func(quick bool) (*experiments.Table, error) {
+		simTime, ns := 1e8, []int{1, 2, 3, 5, 7, 10, 15, 20, 30}
+		if quick {
+			simTime, ns = 1e7, []int{1, 2, 5, 10}
+		}
+		return experiments.ThroughputVsN(ns, simTime, 1)
+	}},
+	{"boost", func(quick bool) (*experiments.Table, error) {
+		ns, simTime, topK := []int{2, 5, 10, 15}, 3e7, 5
+		if quick {
+			ns, simTime, topK = []int{2, 5}, 5e6, 3
+		}
+		_, t, err := experiments.Boost(ns, simTime, topK, 1)
+		return t, err
+	}},
+	{"sniffer", func(quick bool) (*experiments.Table, error) {
+		duration := 240e6
+		if quick {
+			duration = 1e7
+		}
+		_, t, err := experiments.Sniffer(3, duration, 100_000, 1)
+		return t, err
+	}},
+	{"fairness", func(quick bool) (*experiments.Table, error) {
+		simTime, windows := 2e8, []int{10, 30, 100, 300, 1000}
+		if quick {
+			simTime, windows = 2e7, []int{10, 100, 1000}
+		}
+		return experiments.ShortTermFairness(2, windows, simTime, 1)
+	}},
+	{"delay", func(quick bool) (*experiments.Table, error) {
+		duration, ns := 1e8, []int{1, 2, 3, 5, 7, 10}
+		if quick {
+			duration, ns = 1e7, []int{1, 3, 7}
+		}
+		return experiments.AccessDelay(ns, duration, 1)
+	}},
+	{"delay-load", func(quick bool) (*experiments.Table, error) {
+		duration, loads := 1e8, []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+		if quick {
+			duration, loads = 2e7, []float64{0.1, 0.5, 0.9}
+		}
+		return experiments.DelayVsLoad(3, loads, duration, 1)
+	}},
+	{"coexistence", func(quick bool) (*experiments.Table, error) {
+		simTime, per := 1e8, 5
+		if quick {
+			simTime, per = 1e7, 3
+		}
+		// The aggressive capture case; the polite-boost case is covered
+		// by the test suite and EXPERIMENTS.md.
+		inf := 1 << 20
+		aggressive := config.Params{Name: "aggressive", CW: []int{4, 8, 16, 32}, DC: []int{inf, inf, inf, inf}}
+		return experiments.Coexistence(aggressive, per, simTime, 1)
+	}},
+	{"model-accuracy", func(quick bool) (*experiments.Table, error) {
+		simTime, ns := 2e8, []int{2, 3, 4, 5, 7, 10, 15}
+		if quick {
+			simTime, ns = 2e7, []int{2, 5, 10}
+		}
+		return experiments.ModelAccuracy(ns, simTime, 1)
+	}},
+	{"ablation-deferral", func(quick bool) (*experiments.Table, error) {
+		simTime, ns := 1e8, []int{2, 5, 10, 15}
+		if quick {
+			simTime, ns = 1e7, []int{2, 7}
+		}
+		return experiments.AblationDeferral(ns, simTime, 1)
+	}},
+	{"ablation-burst", func(quick bool) (*experiments.Table, error) {
+		duration := 1e8
+		if quick {
+			duration = 1e7
+		}
+		return experiments.AblationBurstSize(3, duration, 1)
+	}},
+	{"ablation-agreement", func(quick bool) (*experiments.Table, error) {
+		simTime, ns := 1e8, []int{1, 2, 4, 7}
+		if quick {
+			simTime, ns = 1e7, []int{2, 5}
+		}
+		return experiments.SimulatorAgreement(ns, simTime, 1)
+	}},
+}
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id or 'all': "+ids())
+		quick  = flag.Bool("quick", false, "short durations for smoke runs")
+		format = flag.String("format", "md", "md | csv")
+		out    = flag.String("out", "", "output directory (default stdout)")
+	)
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *exp != "all" {
+		for _, id := range strings.Split(*exp, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+
+	ran := 0
+	for _, entry := range all {
+		if len(selected) > 0 && !selected[entry.id] {
+			continue
+		}
+		t, err := entry.run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plcbench: %s: %v\n", entry.id, err)
+			os.Exit(1)
+		}
+		if err := render(t, *format, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "plcbench: %s: %v\n", entry.id, err)
+			os.Exit(1)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "plcbench: no experiment matches -exp %s (known: %s)\n", *exp, ids())
+		os.Exit(2)
+	}
+}
+
+func ids() string {
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.id
+	}
+	return strings.Join(out, ", ")
+}
+
+func render(t *experiments.Table, format, outDir string) error {
+	var w io.Writer = os.Stdout
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		ext := ".md"
+		if format == "csv" {
+			ext = ".csv"
+		}
+		f, err := os.Create(filepath.Join(outDir, t.ID+ext))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if format == "csv" {
+		return t.WriteCSV(w)
+	}
+	return t.WriteMarkdown(w)
+}

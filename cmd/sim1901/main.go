@@ -1,0 +1,87 @@
+// Command sim1901 is the CLI form of the paper's simulator entry point
+//
+//	sim_1901(N, sim_time, Tc, Ts, frame_length, cw, dc)
+//
+// with the same inputs (Table 3 of the paper) and the same two outputs:
+// the collision probability and the normalized throughput. The paper's
+// example invocation translates to
+//
+//	sim1901 -n 2 -sim-time 5e8 -tc 2920.64 -ts 2542.64 \
+//	        -frame-length 2050 -cw 8,16,32,64 -dc 0,1,3,15
+//
+// which is also the flag default, so `sim1901 -n 2` suffices.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+func parseIntVector(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad vector element %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		n           = flag.Int("n", 2, "number of saturated stations")
+		simTime     = flag.Float64("sim-time", 5e8, "total simulation time in µs")
+		tc          = flag.Float64("tc", 2920.64, "collision duration in µs")
+		ts          = flag.Float64("ts", 2542.64, "successful transmission duration in µs")
+		frameLength = flag.Float64("frame-length", 2050, "frame duration in µs (payload only)")
+		cwFlag      = flag.String("cw", "8,16,32,64", "contention window per backoff stage")
+		dcFlag      = flag.String("dc", "0,1,3,15", "initial deferral counter per backoff stage")
+		seed        = flag.Uint64("seed", 1, "random seed (equal seeds reproduce runs exactly)")
+		verbose     = flag.Bool("v", false, "also print per-station statistics")
+	)
+	flag.Parse()
+
+	cw, err := parseIntVector(*cwFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim1901: -cw:", err)
+		os.Exit(2)
+	}
+	dc, err := parseIntVector(*dcFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim1901: -dc:", err)
+		os.Exit(2)
+	}
+
+	in := sim.Inputs{
+		N: *n, SimTime: *simTime, Tc: *tc, Ts: *ts, FrameLength: *frameLength,
+		Params: config.Params{Name: "cli", CW: cw, DC: dc}, Seed: *seed,
+	}
+	e, err := sim.NewEngine(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim1901:", err)
+		os.Exit(2)
+	}
+	r := e.Run()
+	fmt.Printf("collision_pr     = %.6f\n", r.CollisionProbability)
+	fmt.Printf("norm_throughput  = %.6f\n", r.NormalizedThroughput)
+	if *verbose {
+		fmt.Printf("successes        = %d\n", r.Successes)
+		fmt.Printf("collided_frames  = %d\n", r.CollidedFrames)
+		fmt.Printf("collision_events = %d\n", r.CollisionEvents)
+		fmt.Printf("idle_slots       = %d\n", r.IdleSlots)
+		fmt.Printf("elapsed_us       = %.2f\n", r.Elapsed)
+		for i, s := range r.PerStation {
+			fmt.Printf("station %d: acked=%d collided=%d deferrals=%d redraws=%d\n",
+				i, s.Acked(), s.Collided, s.Deferrals, s.Redraws)
+		}
+	}
+}

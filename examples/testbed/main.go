@@ -1,0 +1,88 @@
+// Testbed: the full Section 3.2 measurement procedure, end to end over
+// UDP. An emulated power strip of N saturated HomePlug AV stations is
+// hosted in-process; the measurement side then follows the paper
+// exactly, speaking the vendor MME protocol through real sockets:
+//
+//  1. reset the tx counters at every station (MME 0xA030, reset);
+//  2. run the test (here: advance the virtual clock by 240 s);
+//  3. fetch the acked/collided counters from every station;
+//  4. compute the collision probability ΣCᵢ/ΣAᵢ.
+//
+// Run with:
+//
+//	go run ./examples/testbed
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/config"
+	"repro/internal/device"
+	"repro/internal/testbed"
+)
+
+const (
+	nStations = 5
+	duration  = 60e6 // 60 virtual seconds per test
+)
+
+func main() {
+	// Emulated power strip.
+	tb, err := testbed.New(testbed.Options{N: nStations, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	host := device.NewHost(pc, tb.Network)
+	host.Add(tb.Destination)
+	for _, d := range tb.Transmitters {
+		host.Add(d)
+	}
+	go host.Serve()
+	defer host.Close()
+	fmt.Printf("emulated power strip on %s: %d stations → D (%s)\n\n",
+		host.Addr(), nStations, testbed.DstAddr)
+
+	// Measurement side: a plain UDP client, like ampstat.
+	cli, err := device.Dial(host.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Step 1: reset.
+	for i := 0; i < nStations; i++ {
+		if err := cli.ResetLink(testbed.StationAddr(i), testbed.DstAddr, config.CA1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("counters reset at all stations")
+
+	// Step 2: run.
+	clock, err := cli.Run(duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test ran; virtual clock at %.1f s\n\n", float64(clock)/1e6)
+
+	// Steps 3-4: fetch and aggregate.
+	var sumC, sumA uint64
+	fmt.Printf("%-20s %12s %12s\n", "station", "acked A_i", "collided C_i")
+	for i := 0; i < nStations; i++ {
+		c, err := cli.FetchLink(testbed.StationAddr(i), testbed.DstAddr, config.CA1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %12d %12d\n", testbed.StationAddr(i), c.Acked, c.Collided)
+		sumC += c.Collided
+		sumA += c.Acked
+	}
+	fmt.Printf("\nΣC = %d, ΣA = %d\n", sumC, sumA)
+	fmt.Printf("collision probability ΣC/ΣA = %.4f\n", float64(sumC)/float64(sumA))
+	fmt.Println("\n(compare: the paper measures ≈0.22 at N=5, Figure 2)")
+}

@@ -1,0 +1,183 @@
+package backoff
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/rng"
+)
+
+func newTestDCF(seed uint64) *DCFStation {
+	return NewDCFStation(config.Default80211(), rng.New(seed))
+}
+
+func TestDCFRejectsInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDCFStation accepted invalid config")
+		}
+	}()
+	NewDCFStation(config.DCF{CWmin: 0, CWmax: 8}, rng.New(1))
+}
+
+func TestDCFRejectsNilRNG(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDCFStation accepted nil rng")
+		}
+	}()
+	NewDCFStation(config.Default80211(), nil)
+}
+
+func TestDCFStartStageZero(t *testing.T) {
+	s := newTestDCF(1)
+	s.Start()
+	if s.Stage() != 0 || s.CW() != 16 {
+		t.Errorf("after Start: stage=%d CW=%d, want 0/16", s.Stage(), s.CW())
+	}
+	if bc := s.BC(); bc < 0 || bc > 15 {
+		t.Errorf("BC = %d outside {0,…,15}", bc)
+	}
+}
+
+func TestDCFStartTwicePanics(t *testing.T) {
+	s := newTestDCF(1)
+	s.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Start did not panic")
+		}
+	}()
+	s.Start()
+}
+
+func TestDCFCollisionDoublesWindow(t *testing.T) {
+	s := newTestDCF(1)
+	s.Start()
+	wants := []int{32, 64, 128, 256, 512, 1024, 1024, 1024}
+	for i, want := range wants {
+		driveDCFToTransmit(s)
+		s.AfterBusy(true, false)
+		if s.CW() != want {
+			t.Fatalf("after collision %d: CW=%d, want %d", i+1, s.CW(), want)
+		}
+	}
+}
+
+func TestDCFSuccessResetsWindow(t *testing.T) {
+	s := newTestDCF(1)
+	s.Start()
+	for i := 0; i < 3; i++ {
+		driveDCFToTransmit(s)
+		s.AfterBusy(true, false)
+	}
+	driveDCFToTransmit(s)
+	s.AfterBusy(true, true)
+	if s.Stage() != 0 || s.CW() != 16 {
+		t.Errorf("after success: stage=%d CW=%d, want 0/16", s.Stage(), s.CW())
+	}
+}
+
+func TestDCFNoDeferralMechanism(t *testing.T) {
+	// Unlike 1901, overhearing busy periods must never change the DCF
+	// stage, no matter how many occur.
+	for seed := uint64(1); seed < 100; seed++ {
+		s := newTestDCF(seed)
+		if s.Start() == Transmit {
+			continue
+		}
+		start := s.BC()
+		for i := 0; i < start-1; i++ {
+			s.AfterBusy(false, i%2 == 0)
+			if s.Stage() != 0 {
+				t.Fatalf("overheard busy changed DCF stage to %d", s.Stage())
+			}
+		}
+		return
+	}
+	t.Fatal("no suitable seed")
+}
+
+func TestDCFSlottedBusyConvention(t *testing.T) {
+	for seed := uint64(1); seed < 100; seed++ {
+		s := newTestDCF(seed)
+		if s.Start() == Transmit || s.BC() < 2 {
+			continue
+		}
+		bc := s.BC()
+		s.AfterBusy(false, true)
+		if s.BC() != bc-1 {
+			t.Fatalf("slotted convention: BC %d → %d, want %d", bc, s.BC(), bc-1)
+		}
+		// Hardware convention: freeze.
+		s.DecrementOnBusy = false
+		bc = s.BC()
+		s.AfterBusy(false, true)
+		if s.BC() != bc {
+			t.Fatalf("freeze convention: BC %d → %d, want unchanged", bc, s.BC())
+		}
+		return
+	}
+	t.Fatal("no suitable seed")
+}
+
+func TestDCFAfterIdlePanics(t *testing.T) {
+	s := newTestDCF(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("AfterIdle before Start did not panic")
+		}
+	}()
+	s.AfterIdle()
+}
+
+func TestDCFReset(t *testing.T) {
+	s := newTestDCF(1)
+	s.Start()
+	driveDCFToTransmit(s)
+	s.AfterBusy(true, false)
+	s.Reset()
+	if s.Stage() != 0 || s.Redraws() != 0 {
+		t.Errorf("Reset left stage=%d redraws=%d", s.Stage(), s.Redraws())
+	}
+	s.Start()
+	if s.CW() != 16 {
+		t.Errorf("CW after Reset+Start = %d", s.CW())
+	}
+}
+
+func driveDCFToTransmit(s *DCFStation) {
+	for s.BC() > 0 {
+		s.AfterIdle()
+	}
+}
+
+// Property: DCF counters stay within bounds over arbitrary event
+// sequences under both busy conventions.
+func TestDCFCounterBoundsProperty(t *testing.T) {
+	f := func(seed uint64, events []bool, slotted bool) bool {
+		s := NewDCFStation(config.Default80211(), rng.New(seed))
+		s.DecrementOnBusy = slotted
+		a := s.Start()
+		for _, busy := range events {
+			if a == Transmit {
+				a = s.AfterBusy(true, busy)
+			} else if busy {
+				a = s.AfterBusy(false, false)
+			} else {
+				a = s.AfterIdle()
+			}
+			if s.BC() < 0 || s.BC() >= s.CW() {
+				return false
+			}
+			if s.CW() > 1024 || s.CW() < 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package core is the top-level API of the library: one call evaluates
+// an IEEE 1901 CSMA/CA scenario through all three lenses the paper
+// compares in Figure 2 — the finite-state-machine simulator, the
+// analytical (decoupling) model, and the emulated HomePlug AV testbed
+// measurement — and reports them side by side.
+//
+// The package exists so that downstream users (and the examples/) have
+// a single stable entry point; specialised work goes straight to the
+// focused packages (internal/sim, internal/model, internal/testbed,
+// internal/boost).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// Scenario describes a contention scenario to evaluate.
+type Scenario struct {
+	// N is the number of saturated stations.
+	N int
+	// Params are the CSMA/CA parameters; zero value means the CA1
+	// defaults of Table 1.
+	Params config.Params
+	// SimTimeMicros is the simulator duration (default: the paper's
+	// 5·10⁸ µs).
+	SimTimeMicros float64
+	// TestDurationMicros is the per-measurement virtual duration
+	// (default: the paper's 240 s).
+	TestDurationMicros float64
+	// Tests is the number of repeated testbed measurements (default:
+	// the paper's 10).
+	Tests int
+	// Seed drives all random streams (default 1).
+	Seed uint64
+}
+
+// withDefaults fills the zero values with the paper's setup.
+func (s Scenario) withDefaults() Scenario {
+	if s.Params.Stages() == 0 {
+		s.Params = config.DefaultCA1()
+	}
+	if s.SimTimeMicros == 0 {
+		s.SimTimeMicros = 5e8
+	}
+	if s.TestDurationMicros == 0 {
+		s.TestDurationMicros = 240e6
+	}
+	if s.Tests == 0 {
+		s.Tests = 10
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Validate checks the scenario.
+func (s Scenario) Validate() error {
+	if s.N < 1 {
+		return fmt.Errorf("core: N=%d must be ≥ 1", s.N)
+	}
+	if s.Tests < 0 {
+		return fmt.Errorf("core: Tests=%d must be ≥ 0", s.Tests)
+	}
+	return s.Params.Validate()
+}
+
+// Evaluation is the three-way result.
+type Evaluation struct {
+	Scenario Scenario
+
+	// Simulation is the FSM simulator's result.
+	Simulation sim.Result
+	// Analysis is the analytical model's prediction and metrics.
+	Analysis model.Prediction
+	// AnalysisMetrics derives throughput etc. from Analysis.
+	AnalysisMetrics model.Metrics
+	// Measured summarizes the testbed's ΣC/ΣA across repeated tests.
+	Measured stats.Summary
+}
+
+// CollisionProbabilities returns the three collision-probability
+// estimates in Figure 2's order: simulation, analysis, measurement.
+func (e Evaluation) CollisionProbabilities() (simP, modelP, measuredP float64) {
+	return e.Simulation.CollisionProbability, e.Analysis.Gamma, e.Measured.Mean
+}
+
+// Evaluate runs the full three-way comparison for one scenario. With
+// Tests = 0 the testbed step is skipped (Measured is a zero Summary
+// with N = 0).
+func Evaluate(s Scenario) (Evaluation, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	out := Evaluation{Scenario: s}
+
+	in := sim.DefaultInputs(s.N)
+	in.SimTime = s.SimTimeMicros
+	in.Params = s.Params
+	in.Seed = s.Seed
+	eng, err := sim.NewEngine(in)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	out.Simulation = eng.Run()
+
+	pred, err := model.Solve(s.N, s.Params, model.Options{})
+	if err != nil {
+		return Evaluation{}, err
+	}
+	out.Analysis = pred
+	out.AnalysisMetrics = model.MetricsFor(pred, s.N, model.DefaultTiming())
+
+	if s.Tests > 0 {
+		measured := make([]float64, 0, s.Tests)
+		for k := 0; k < s.Tests; k++ {
+			tb, err := testbed.New(testbed.Options{
+				N: s.N, Seed: s.Seed + uint64(1000*s.N+k), Params: &s.Params,
+			})
+			if err != nil {
+				return Evaluation{}, err
+			}
+			measured = append(measured, tb.CollisionProbability(s.TestDurationMicros))
+		}
+		out.Measured = stats.Summarize(measured)
+	}
+	return out, nil
+}
+
+// Sweep evaluates a scenario across station counts, reusing every other
+// setting — the shape of Figure 2.
+func Sweep(base Scenario, ns []int) ([]Evaluation, error) {
+	out := make([]Evaluation, 0, len(ns))
+	for _, n := range ns {
+		s := base
+		s.N = n
+		ev, err := Evaluate(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func quickScenario(n int) Scenario {
+	return Scenario{
+		N:                  n,
+		SimTimeMicros:      1e7,
+		TestDurationMicros: 5e6,
+		Tests:              2,
+		Seed:               1,
+	}
+}
+
+func TestScenarioDefaults(t *testing.T) {
+	s := Scenario{N: 3}.withDefaults()
+	if s.SimTimeMicros != 5e8 || s.TestDurationMicros != 240e6 || s.Tests != 10 || s.Seed != 1 {
+		t.Errorf("defaults %+v do not match the paper's setup", s)
+	}
+	if !s.Params.Equal(config.DefaultCA1()) {
+		t.Error("default params are not CA1")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Evaluate(Scenario{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	bad := quickScenario(2)
+	bad.Params = config.Params{CW: []int{0}, DC: []int{0}}
+	if _, err := Evaluate(bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestEvaluateThreeWayAgreement(t *testing.T) {
+	ev, err := Evaluate(quickScenario(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simP, modelP, measP := ev.CollisionProbabilities()
+	if simP <= 0 || modelP <= 0 || measP <= 0 {
+		t.Fatalf("degenerate estimates: %v %v %v", simP, modelP, measP)
+	}
+	if math.Abs(simP-measP) > 0.04 {
+		t.Errorf("sim %v vs measured %v", simP, measP)
+	}
+	if math.Abs(simP-modelP) > 0.06 {
+		t.Errorf("sim %v vs model %v", simP, modelP)
+	}
+	if ev.AnalysisMetrics.NormalizedThroughput <= 0 {
+		t.Error("no model throughput")
+	}
+}
+
+func TestEvaluateSkipsTestbed(t *testing.T) {
+	s := quickScenario(2)
+	s.Tests = -1 // invalid
+	if _, err := Evaluate(s); err == nil {
+		t.Error("negative Tests accepted")
+	}
+	// Tests is defaulted from 0 → 10 by withDefaults, so explicitly
+	// skipping needs a sentinel: use 0 after defaults by constructing a
+	// pre-defaulted scenario. The public contract: Tests=0 on an
+	// already-defaulted scenario skips measurement.
+	s = quickScenario(1)
+	s.Tests = 0
+	ev, err := Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tests=0 was filled to the default 10 — verify it measured.
+	if ev.Measured.N == 0 {
+		t.Skip("Tests=0 treated as default; measurement skipping not exposed")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	evs, err := Sweep(quickScenario(0), []int{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("%d evaluations", len(evs))
+	}
+	prev := -1.0
+	for _, ev := range evs {
+		p := ev.Simulation.CollisionProbability
+		if p <= prev && ev.Scenario.N > 1 {
+			t.Errorf("N=%d: collision probability %v not increasing", ev.Scenario.N, p)
+		}
+		prev = p
+	}
+}
+
+func TestEvaluateCustomParams(t *testing.T) {
+	s := quickScenario(5)
+	s.Params = config.Params{Name: "wide", CW: []int{64, 128, 256, 512}, DC: []int{0, 1, 3, 15}}
+	wide, err := Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Evaluate(quickScenario(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Simulation.CollisionProbability >= def.Simulation.CollisionProbability {
+		t.Error("wider windows did not reduce simulated collisions")
+	}
+	if wide.Analysis.Gamma >= def.Analysis.Gamma {
+		t.Error("wider windows did not reduce modeled collisions")
+	}
+	if wide.Measured.Mean >= def.Measured.Mean {
+		t.Error("wider windows did not reduce measured collisions")
+	}
+}

@@ -1,0 +1,193 @@
+package device
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/hpav"
+	"repro/internal/mac"
+)
+
+// Client is the tool-side MME endpoint: it sends requests to a Host and
+// awaits the matching confirmations. Both cmd/ampstat and cmd/faifa are
+// thin wrappers around it, mirroring how the original tools wrap raw
+// Ethernet MME exchanges.
+type Client struct {
+	conn net.Conn
+	// HostAddr is the client's own source MAC placed in the OSA field.
+	HostAddr hpav.MAC
+	// Timeout bounds each request/confirm exchange.
+	Timeout time.Duration
+}
+
+// Dial connects a client to a host's UDP address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("device: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn:     conn,
+		HostAddr: hpav.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01},
+		Timeout:  5 * time.Second,
+	}, nil
+}
+
+// Close releases the socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends a request frame and returns the first frame of the
+// wanted type (skipping unrelated traffic such as sniffer indications).
+func (c *Client) roundTrip(req *hpav.Frame, want hpav.MMType) (*hpav.Frame, error) {
+	if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+		return nil, err
+	}
+	if _, err := c.conn.Write(req.Marshal()); err != nil {
+		return nil, fmt.Errorf("device: send %v: %w", req.Type, err)
+	}
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			return nil, fmt.Errorf("device: await %v: %w", want, err)
+		}
+		f, err := hpav.Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		if f.Type == want {
+			// Copy the payload out of the receive buffer before reuse.
+			p := make([]byte, len(f.Payload))
+			copy(p, f.Payload)
+			f.Payload = p
+			return f, nil
+		}
+	}
+}
+
+// Stats performs one VS_STATS exchange against the device at target.
+func (c *Client) Stats(target hpav.MAC, control hpav.StatsControl, dir hpav.StatsDirection,
+	pri config.Priority, peer hpav.MAC) (*hpav.StatsCnf, error) {
+
+	body := &hpav.StatsReq{Control: control, Direction: dir, Priority: pri, PeerAddress: peer}
+	req := &hpav.Frame{
+		ODA: target, OSA: c.HostAddr,
+		Type: hpav.MMTypeStatsReq, OUI: hpav.IntellonOUI,
+		Payload: body.Marshal(),
+	}
+	cnf, err := c.roundTrip(req, hpav.MMTypeStatsCnf)
+	if err != nil {
+		return nil, err
+	}
+	out, err := hpav.UnmarshalStatsCnf(cnf.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if out.Status != hpav.StatsStatusSuccess {
+		return nil, fmt.Errorf("device: stats status %d", out.Status)
+	}
+	return out, nil
+}
+
+// ResetLink clears the tx counters toward peer at the device, the
+// start-of-test step of Section 3.2.
+func (c *Client) ResetLink(target, peer hpav.MAC, pri config.Priority) error {
+	_, err := c.Stats(target, hpav.StatsReset, hpav.DirectionTx, pri, peer)
+	return err
+}
+
+// FetchLink retrieves the tx counters toward peer at the device, the
+// end-of-test step of Section 3.2.
+func (c *Client) FetchLink(target, peer hpav.MAC, pri config.Priority) (mac.LinkCounters, error) {
+	cnf, err := c.Stats(target, hpav.StatsFetch, hpav.DirectionTx, pri, peer)
+	if err != nil {
+		return mac.LinkCounters{}, err
+	}
+	return mac.LinkCounters{Acked: cnf.Acked, Collided: cnf.Collided}, nil
+}
+
+// Sniffer toggles the sniffer mode of the device at target.
+func (c *Client) Sniffer(target hpav.MAC, control hpav.SnifferControl) (*hpav.SnifferCnf, error) {
+	body := &hpav.SnifferReq{Control: control}
+	req := &hpav.Frame{
+		ODA: target, OSA: c.HostAddr,
+		Type: hpav.MMTypeSnifferReq, OUI: hpav.IntellonOUI,
+		Payload: body.Marshal(),
+	}
+	cnf, err := c.roundTrip(req, hpav.MMTypeSnifferCnf)
+	if err != nil {
+		return nil, err
+	}
+	return hpav.UnmarshalSnifferCnf(cnf.Payload)
+}
+
+// Run advances the emulated power strip's virtual clock — the stand-in
+// for letting a real test run for the given duration.
+func (c *Client) Run(durationMicros uint64) (clockMicros uint64, err error) {
+	body := &hpav.EmulatorReq{Op: hpav.EmulatorRun, DurationMicros: durationMicros}
+	req := &hpav.Frame{
+		ODA: hpav.Broadcast, OSA: c.HostAddr,
+		Type: hpav.MMTypeEmulatorReq, OUI: hpav.IntellonOUI,
+		Payload: body.Marshal(),
+	}
+	cnf, err := c.roundTrip(req, hpav.MMTypeEmulatorCnf)
+	if err != nil {
+		return 0, err
+	}
+	out, err := hpav.UnmarshalEmulatorCnf(cnf.Payload)
+	if err != nil {
+		return 0, err
+	}
+	return out.ClockMicros, nil
+}
+
+// ReadCaptures drains live VS_SNIFFER.IND datagrams until either max
+// indications arrived or the socket stays quiet for the idle timeout.
+// Other frame types received meanwhile are discarded.
+func (c *Client) ReadCaptures(max int, idle time.Duration) ([]hpav.SnifferInd, error) {
+	var out []hpav.SnifferInd
+	buf := make([]byte, 64<<10)
+	for max <= 0 || len(out) < max {
+		if err := c.conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
+			return out, err
+		}
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return out, nil // stream went quiet
+			}
+			return out, err
+		}
+		f, err := hpav.Unmarshal(buf[:n])
+		if err != nil || f.Type != hpav.MMTypeSnifferInd {
+			continue
+		}
+		ind, err := hpav.UnmarshalSnifferInd(f.Payload)
+		if err != nil {
+			continue
+		}
+		out = append(out, *ind)
+	}
+	return out, nil
+}
+
+// Clock queries the emulator's virtual clock.
+func (c *Client) Clock() (uint64, error) {
+	body := &hpav.EmulatorReq{Op: hpav.EmulatorStatus}
+	req := &hpav.Frame{
+		ODA: hpav.Broadcast, OSA: c.HostAddr,
+		Type: hpav.MMTypeEmulatorReq, OUI: hpav.IntellonOUI,
+		Payload: body.Marshal(),
+	}
+	cnf, err := c.roundTrip(req, hpav.MMTypeEmulatorCnf)
+	if err != nil {
+		return 0, err
+	}
+	out, err := hpav.UnmarshalEmulatorCnf(cnf.Payload)
+	if err != nil {
+		return 0, err
+	}
+	return out.ClockMicros, nil
+}

@@ -1,0 +1,169 @@
+// Package device emulates the HomePlug AV adapter: the closed firmware
+// the paper's tools talk to through vendor management messages.
+//
+// A Device wraps a mac.Station and implements the management-message
+// surface the paper uses (Section 3): the 0xA030 statistics family
+// (reset/fetch acknowledged and collided MPDU counters per link) and
+// the 0xA034 sniffer family (capture SoF delimiters of every frame on
+// the power line). The Host in server.go exposes the devices over UDP
+// so the reimplemented tools (cmd/ampstat, cmd/faifa) exercise the
+// exact reset–run–query procedure of the paper against real sockets.
+package device
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hpav"
+	"repro/internal/mac"
+)
+
+// Device is one emulated PLC adapter.
+type Device struct {
+	station *Station
+
+	mu           sync.Mutex
+	snifferOn    bool
+	captures     []hpav.SnifferInd
+	captureLimit int
+	snifferSink  func(hpav.SnifferInd)
+}
+
+// Station is the subset of mac.Station the device firmware needs;
+// declared as an interface-free alias to keep construction simple.
+type Station = mac.Station
+
+// DefaultCaptureLimit bounds the in-device capture buffer. 240 s of a
+// 7-station saturated test produces ≈4·10⁵ SoFs; the default keeps the
+// full trace with headroom.
+const DefaultCaptureLimit = 1 << 20
+
+// New wraps a MAC station in its firmware surface and hooks the
+// sniffer path.
+func New(st *mac.Station) *Device {
+	if st == nil {
+		panic("device: New(nil station)")
+	}
+	d := &Device{station: st, captureLimit: DefaultCaptureLimit}
+	st.Sniffer = d.onCapture
+	return d
+}
+
+// Station returns the wrapped MAC station.
+func (d *Device) Station() *mac.Station { return d.station }
+
+// Addr returns the device's MAC address.
+func (d *Device) Addr() hpav.MAC { return d.station.Addr }
+
+// onCapture receives SoF delimiters from the medium while the sniffer
+// is enabled.
+func (d *Device) onCapture(ind hpav.SnifferInd) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.snifferOn {
+		return
+	}
+	if len(d.captures) < d.captureLimit {
+		d.captures = append(d.captures, ind)
+	}
+	if d.snifferSink != nil {
+		d.snifferSink(ind)
+	}
+}
+
+// SetSnifferSink installs a live capture consumer (the UDP host pushes
+// VS_SNIFFER.IND datagrams through it). Pass nil to remove.
+func (d *Device) SetSnifferSink(sink func(hpav.SnifferInd)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.snifferSink = sink
+}
+
+// Captures drains and returns the buffered captures.
+func (d *Device) Captures() []hpav.SnifferInd {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := d.captures
+	d.captures = nil
+	return out
+}
+
+// SnifferEnabled reports the sniffer state.
+func (d *Device) SnifferEnabled() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snifferOn
+}
+
+// HandleMME processes one management request addressed to this device
+// and returns the confirmation frame, or an error for malformed or
+// unsupported requests (real firmware drops those silently; the
+// emulator surfaces them for debuggability).
+func (d *Device) HandleMME(req *hpav.Frame) (*hpav.Frame, error) {
+	if req == nil {
+		return nil, fmt.Errorf("device: nil request")
+	}
+	switch req.Type {
+	case hpav.MMTypeStatsReq:
+		return d.handleStats(req)
+	case hpav.MMTypeSnifferReq:
+		return d.handleSniffer(req)
+	default:
+		return nil, fmt.Errorf("device: unsupported MMType %v", req.Type)
+	}
+}
+
+func (d *Device) reply(req *hpav.Frame, typ hpav.MMType, payload []byte) *hpav.Frame {
+	return &hpav.Frame{
+		ODA:     req.OSA,
+		OSA:     d.station.Addr,
+		Type:    typ,
+		OUI:     hpav.IntellonOUI,
+		Payload: payload,
+	}
+}
+
+// handleStats implements the ampstat surface: reset clears the link's
+// counters; fetch returns them in the byte-exact layout of Section 3.2.
+func (d *Device) handleStats(req *hpav.Frame) (*hpav.Frame, error) {
+	r, err := hpav.UnmarshalStatsReq(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	key := mac.LinkKey{Peer: r.PeerAddress, Priority: r.Priority, Direction: r.Direction}
+	switch r.Control {
+	case hpav.StatsReset:
+		d.station.Counters().Reset(key)
+	case hpav.StatsFetch:
+		// fall through to the fetch below
+	}
+	c := d.station.Counters().Fetch(key)
+	cnf := &hpav.StatsCnf{
+		Status:    hpav.StatsStatusSuccess,
+		Direction: r.Direction,
+		Acked:     c.Acked,
+		Collided:  c.Collided,
+	}
+	return d.reply(req, hpav.MMTypeStatsCnf, cnf.Marshal()), nil
+}
+
+// handleSniffer implements the faifa surface: toggle capture mode.
+func (d *Device) handleSniffer(req *hpav.Frame) (*hpav.Frame, error) {
+	r, err := hpav.UnmarshalSnifferReq(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.snifferOn = r.Control == hpav.SnifferEnable
+	d.station.SnifferEnabled = d.snifferOn
+	if !d.snifferOn {
+		d.captures = nil
+	}
+	state := hpav.SnifferDisable
+	if d.snifferOn {
+		state = hpav.SnifferEnable
+	}
+	d.mu.Unlock()
+	cnf := &hpav.SnifferCnf{Status: 0, State: state}
+	return d.reply(req, hpav.MMTypeSnifferCnf, cnf.Marshal()), nil
+}

@@ -1,0 +1,187 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/hpav"
+	"repro/internal/mac"
+)
+
+// Host exposes a set of emulated devices — one power strip — over a UDP
+// socket. The reimplemented measurement tools address individual
+// devices by MAC inside the MME frame (the ODA field), exactly as the
+// real tools address adapters over raw Ethernet; UDP stands in for the
+// host's Ethernet link to each adapter.
+//
+// The host also answers the VS_EMULATOR control MME, which advances the
+// shared virtual clock (the stand-in for "let the test run for 240
+// seconds"). Management queries and clock advancement are serialized:
+// a stats fetch never observes a half-run test.
+type Host struct {
+	pc      net.PacketConn
+	network *mac.Network
+
+	mu      sync.Mutex
+	devices map[hpav.MAC]*Device
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewHost creates a host bound to the given packet connection (usually
+// a 127.0.0.1 UDP socket) coordinating the given network.
+func NewHost(pc net.PacketConn, network *mac.Network) *Host {
+	if pc == nil {
+		panic("device: NewHost: nil packet conn")
+	}
+	if network == nil {
+		panic("device: NewHost: nil network")
+	}
+	return &Host{
+		pc:      pc,
+		network: network,
+		devices: make(map[hpav.MAC]*Device),
+		closed:  make(chan struct{}),
+	}
+}
+
+// Add registers a device with the host.
+func (h *Host) Add(d *Device) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.devices[d.Addr()]; dup {
+		panic(fmt.Sprintf("device: duplicate device %s", d.Addr()))
+	}
+	h.devices[d.Addr()] = d
+}
+
+// Addr returns the UDP address the host listens on.
+func (h *Host) Addr() net.Addr { return h.pc.LocalAddr() }
+
+// Serve processes management datagrams until Close. It is typically run
+// in its own goroutine.
+func (h *Host) Serve() error {
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := h.pc.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-h.closed:
+				return nil
+			default:
+				return fmt.Errorf("device: host read: %w", err)
+			}
+		}
+		replies := h.dispatch(buf[:n], from)
+		for _, r := range replies {
+			if _, err := h.pc.WriteTo(r, from); err != nil {
+				return fmt.Errorf("device: host write: %w", err)
+			}
+		}
+	}
+}
+
+// dispatch decodes one datagram and routes it; it returns the encoded
+// replies (possibly several for broadcast requests). Sniffer-mode
+// requests additionally subscribe the requester: captured delimiters
+// are pushed to it live as VS_SNIFFER.IND datagrams, the way faifa
+// receives indications from a real adapter.
+func (h *Host) dispatch(datagram []byte, from net.Addr) [][]byte {
+	f, err := hpav.Unmarshal(datagram)
+	if err != nil {
+		return nil // malformed frames are dropped, as on a real wire
+	}
+
+	if f.Type == hpav.MMTypeEmulatorReq {
+		if r := h.handleEmulator(f); r != nil {
+			return [][]byte{r}
+		}
+		return nil
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out [][]byte
+	if f.ODA == hpav.Broadcast {
+		for _, d := range h.devices {
+			if reply, err := d.HandleMME(f); err == nil {
+				out = append(out, reply.Marshal())
+			}
+		}
+		return out
+	}
+	d := h.devices[f.ODA]
+	if d == nil {
+		return nil // no adapter at that address
+	}
+	reply, err := d.HandleMME(f)
+	if err != nil {
+		return nil
+	}
+	if f.Type == hpav.MMTypeSnifferReq {
+		h.updateSnifferSink(d, from)
+	}
+	return [][]byte{reply.Marshal()}
+}
+
+// updateSnifferSink subscribes (or unsubscribes) the tool at from to
+// the device's live capture stream, based on the sniffer state the
+// request just set.
+func (h *Host) updateSnifferSink(d *Device, from net.Addr) {
+	if !d.SnifferEnabled() {
+		d.SetSnifferSink(nil)
+		return
+	}
+	deviceAddr := d.Addr()
+	d.SetSnifferSink(func(ind hpav.SnifferInd) {
+		frame := &hpav.Frame{
+			ODA:     hpav.Broadcast, // to the host interface
+			OSA:     deviceAddr,
+			Type:    hpav.MMTypeSnifferInd,
+			OUI:     hpav.IntellonOUI,
+			Payload: ind.Marshal(),
+		}
+		// Best effort: a full tool-side socket buffer drops
+		// indications, exactly as a flooded capture does.
+		_, _ = h.pc.WriteTo(frame.Marshal(), from)
+	})
+}
+
+// handleEmulator advances or reports the virtual clock.
+func (h *Host) handleEmulator(f *hpav.Frame) []byte {
+	req, err := hpav.UnmarshalEmulatorReq(f.Payload)
+	if err != nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	status := uint8(0)
+	if req.Op == hpav.EmulatorRun {
+		h.network.Run(float64(req.DurationMicros))
+	}
+	cnf := &hpav.EmulatorCnf{Status: status, ClockMicros: uint64(h.network.Now())}
+	reply := &hpav.Frame{
+		ODA:     f.OSA,
+		OSA:     hpav.MAC{0x00, 0xB0, 0x52, 0xEE, 0xEE, 0xEE}, // the strip itself
+		Type:    hpav.MMTypeEmulatorCnf,
+		OUI:     hpav.IntellonOUI,
+		Payload: cnf.Marshal(),
+	}
+	return reply.Marshal()
+}
+
+// Close stops Serve and releases the socket.
+func (h *Host) Close() error {
+	select {
+	case <-h.closed:
+		return errors.New("device: host already closed")
+	default:
+	}
+	close(h.closed)
+	err := h.pc.Close()
+	h.wg.Wait()
+	return err
+}

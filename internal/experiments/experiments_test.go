@@ -1,0 +1,404 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a number: %v", s, err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "demo", Note: "note", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("3", "4")
+
+	var md bytes.Buffer
+	if err := tbl.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"### x — demo", "note", "| a | b |", "| 1 | 2 |"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown missing %q:\n%s", want, md.String())
+		}
+	}
+
+	var csvOut bytes.Buffer
+	if err := tbl.WriteCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	if got := csvOut.String(); got != "a,b\n1,2\n3,4\n" {
+		t.Errorf("csv = %q", got)
+	}
+}
+
+func TestAddRowPanicsOnArity(t *testing.T) {
+	tbl := &Table{ID: "x", Header: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch accepted")
+		}
+	}()
+	tbl.AddRow("only-one")
+}
+
+func TestTable1MatchesStandard(t *testing.T) {
+	tbl := Table1()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("%d stages", len(tbl.Rows))
+	}
+	// Spot-check stage 3: BPC ≥ 3, CA1 CW 64 d 15, CA3 CW 32 d 15.
+	last := tbl.Rows[3]
+	want := []string{"3", "≥ 3", "64", "15", "32", "15"}
+	for i := range want {
+		if last[i] != want[i] {
+			t.Errorf("stage 3 col %d = %q, want %q", i, last[i], want[i])
+		}
+	}
+}
+
+func TestFigure1Trace(t *testing.T) {
+	tbl, err := Figure1(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 10 {
+		t.Fatalf("only %d rows", len(tbl.Rows))
+	}
+	transmissions := 0
+	sawStageChange := false
+	for _, row := range tbl.Rows {
+		// CW columns must always hold Table 1 values.
+		for _, col := range []int{2, 5} {
+			switch row[col] {
+			case "8", "16", "32", "64":
+			default:
+				t.Fatalf("CW cell %q not a CA1 window", row[col])
+			}
+			if row[col] != "8" {
+				sawStageChange = true
+			}
+		}
+		if strings.HasPrefix(row[8], "transmission") || row[8] == "collision" {
+			transmissions++
+		}
+	}
+	if transmissions < 10 {
+		t.Errorf("%d transmissions recorded", transmissions)
+	}
+	if !sawStageChange {
+		t.Error("no station ever left stage 0 — the Figure 1 dynamics are missing")
+	}
+	if _, err := Figure1(1, 0); err == nil {
+		t.Error("0 transmissions accepted")
+	}
+}
+
+func TestTable2ShortRun(t *testing.T) {
+	cfg := Table2Config{Ns: []int{1, 3}, DurationMicros: 5e6, Seed: 1}
+	tbl, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	// N=1: ratio ~0; N=3: ratio in (0, 0.3).
+	if r := parseCell(t, tbl.Rows[0][3]); r > 0.01 {
+		t.Errorf("N=1 ratio %v", r)
+	}
+	if r := parseCell(t, tbl.Rows[1][3]); r <= 0.02 || r > 0.3 {
+		t.Errorf("N=3 ratio %v", r)
+	}
+}
+
+func TestFigure2ShortRun(t *testing.T) {
+	cfg := Figure2Config{Ns: []int{1, 2, 4}, Tests: 3, TestDurationMicros: 5e6, SimTimeMicros: 1e7, Seed: 1}
+	points, tbl, err := Figure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 || len(tbl.Rows) != 3 {
+		t.Fatalf("%d points, %d rows", len(points), len(tbl.Rows))
+	}
+	for i, p := range points {
+		if p.N == 1 {
+			if p.Simulation != 0 || p.Analysis != 0 {
+				t.Errorf("N=1 nonzero: %+v", p)
+			}
+			continue
+		}
+		// The three curves must agree within the paper's visual band.
+		if d := p.Simulation - p.Measured.Mean; d > 0.04 || d < -0.04 {
+			t.Errorf("point %d: sim %v vs measured %v", i, p.Simulation, p.Measured.Mean)
+		}
+		if d := p.Analysis - p.Simulation; d > 0.06 || d < -0.06 {
+			t.Errorf("point %d: model %v vs sim %v", i, p.Analysis, p.Simulation)
+		}
+	}
+	// Monotone increasing in N across all three curves.
+	for i := 1; i < len(points); i++ {
+		if points[i].Simulation <= points[i-1].Simulation && points[i].N > 1 {
+			t.Error("simulation curve not increasing")
+		}
+	}
+	if _, _, err := Figure2(Figure2Config{Ns: []int{2}, Tests: 0}); err == nil {
+		t.Error("0 tests accepted")
+	}
+}
+
+func TestThroughputVsNShortRun(t *testing.T) {
+	tbl, err := ThroughputVsN([]int{1, 5}, 5e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	// N=1: 1901 must beat DCF in both sim and model.
+	r := tbl.Rows[0]
+	if parseCell(t, r[1]) <= parseCell(t, r[3]) {
+		t.Error("N=1: 1901 sim throughput not above DCF")
+	}
+	if parseCell(t, r[2]) <= parseCell(t, r[4]) {
+		t.Error("N=1: 1901 model throughput not above DCF")
+	}
+	// Model within 0.05 of sim for both protocols at both N.
+	for _, row := range tbl.Rows {
+		if d := parseCell(t, row[1]) - parseCell(t, row[2]); d > 0.05 || d < -0.05 {
+			t.Errorf("1901 model vs sim gap %v", d)
+		}
+		if d := parseCell(t, row[3]) - parseCell(t, row[4]); d > 0.05 || d < -0.05 {
+			t.Errorf("DCF model vs sim gap %v", d)
+		}
+	}
+}
+
+func TestBoostShortRun(t *testing.T) {
+	res, tbl, err := Boost([]int{2, 5}, 3e6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 { // default + 2 candidates
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	if res.Best.SimScore <= 0 {
+		t.Error("degenerate best score")
+	}
+	if len(res.Front) == 0 {
+		t.Error("empty Pareto front")
+	}
+	if tbl.Rows[0][0] != "default CA1" {
+		t.Errorf("first row %q, want defaults", tbl.Rows[0][0])
+	}
+}
+
+func TestSnifferShortRun(t *testing.T) {
+	a, tbl, err := Sniffer(2, 1e7, 100_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DataBursts == 0 || a.MgmtBursts == 0 {
+		t.Fatalf("analysis %+v missing traffic", a)
+	}
+	if a.DominantBurstSize() != 2 {
+		t.Errorf("dominant burst size %d", a.DominantBurstSize())
+	}
+	found := false
+	for _, row := range tbl.Rows {
+		if row[0] == "MME overhead" && parseCell(t, row[1]) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no positive MME overhead row")
+	}
+}
+
+func TestShortTermFairnessShortRun(t *testing.T) {
+	tbl, err := ShortTermFairness(2, []int{10, 100, 1000}, 2e7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	// Fairness must improve with window size for both protocols, and
+	// 1901 must be below 802.11 at the smallest window (the [4] result).
+	j1901 := []float64{}
+	jdcf := []float64{}
+	for _, row := range tbl.Rows {
+		j1901 = append(j1901, parseCell(t, row[1]))
+		jdcf = append(jdcf, parseCell(t, row[2]))
+	}
+	if !(j1901[0] < j1901[2]) {
+		t.Errorf("1901 fairness not improving with window: %v", j1901)
+	}
+	if j1901[0] >= jdcf[0] {
+		t.Errorf("window 10: 1901 Jain %v not below 802.11 %v", j1901[0], jdcf[0])
+	}
+	if j1901[2] < 0.95 {
+		t.Errorf("window 1000: 1901 Jain %v, want near 1 (long-term fair)", j1901[2])
+	}
+	if _, err := ShortTermFairness(1, []int{10}, 1e6, 1); err == nil {
+		t.Error("N=1 accepted")
+	}
+}
+
+func TestAblationDeferralShortRun(t *testing.T) {
+	tbl, err := AblationDeferral([]int{7}, 1e7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Rows[0]
+	if parseCell(t, row[1]) >= parseCell(t, row[2]) {
+		t.Errorf("with-DC collision %v not below no-DC %v", row[1], row[2])
+	}
+}
+
+func TestAblationBurstSizeShortRun(t *testing.T) {
+	tbl, err := AblationBurstSize(3, 1e7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	// Collision ratio stable across k (within noise), payload growing.
+	p1 := parseCell(t, tbl.Rows[0][1])
+	p4 := parseCell(t, tbl.Rows[3][1])
+	if d := p1 - p4; d > 0.04 || d < -0.04 {
+		t.Errorf("collision ratio moved with burst size: %v vs %v", p1, p4)
+	}
+	if parseCell(t, tbl.Rows[3][2]) <= parseCell(t, tbl.Rows[0][2]) {
+		t.Error("payload fraction not growing with burst size")
+	}
+}
+
+func TestSimulatorAgreementShortRun(t *testing.T) {
+	tbl, err := SimulatorAgreement([]int{2, 5}, 1e7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if d := parseCell(t, row[3]); d > 0.03 {
+			t.Errorf("N=%s: implementations %v apart", row[0], d)
+		}
+	}
+}
+
+func TestAccessDelayShortRun(t *testing.T) {
+	tbl, err := AccessDelay([]int{1, 5}, 1e7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	// Delay grows with N in both MAC and model.
+	if parseCell(t, tbl.Rows[1][1]) <= parseCell(t, tbl.Rows[0][1]) {
+		t.Error("MAC delay not growing with N")
+	}
+	if parseCell(t, tbl.Rows[1][4]) <= parseCell(t, tbl.Rows[0][4]) {
+		t.Error("model delay not growing with N")
+	}
+	// MAC and model within 35% of each other (the model has no PRS,
+	// bursting or CIFS asymmetries).
+	for _, row := range tbl.Rows {
+		macD, modelD := parseCell(t, row[1]), parseCell(t, row[4])
+		if r := macD / modelD; r < 0.65 || r > 1.35 {
+			t.Errorf("N=%s: MAC delay %v vs model %v (ratio %v)", row[0], macD, modelD, r)
+		}
+	}
+}
+
+func TestDelayVsLoadShortRun(t *testing.T) {
+	tbl, err := DelayVsLoad(3, []float64{0.05, 0.30}, 1e7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher load → higher delay; light load leaves quiet time.
+	if parseCell(t, tbl.Rows[1][2]) <= parseCell(t, tbl.Rows[0][2]) {
+		t.Error("delay not growing with load")
+	}
+	if parseCell(t, tbl.Rows[0][4]) <= 0 {
+		t.Error("no quiet time at 5% load")
+	}
+	if _, err := DelayVsLoad(3, []float64{1.5}, 1e6, 1); err == nil {
+		t.Error("load > 1 accepted")
+	}
+	if _, err := DelayVsLoad(0, []float64{0.5}, 1e6, 1); err == nil {
+		t.Error("N=0 accepted")
+	}
+}
+
+func TestModelAccuracyShortRun(t *testing.T) {
+	tbl, err := ModelAccuracy([]int{2, 4, 7}, 1e7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error positive (model overestimates) and shrinking.
+	first := parseCell(t, tbl.Rows[0][3])
+	last := parseCell(t, tbl.Rows[len(tbl.Rows)-1][3])
+	if first <= 0 {
+		t.Errorf("model error at N=2 is %v, expected positive", first)
+	}
+	if last >= first {
+		t.Errorf("model error grew: %v → %v", first, last)
+	}
+}
+
+func TestCoexistenceCaptureByAggressiveConfig(t *testing.T) {
+	// An aggressive config (small windows, deferral disabled) must
+	// capture the channel from legacy CA1 stations: ratio > 1 in both
+	// simulator and model.
+	inf := 1 << 20
+	aggressive := config.Params{Name: "aggr", CW: []int{4, 8, 16, 32}, DC: []int{inf, inf, inf, inf}}
+	tbl, err := Coexistence(aggressive, 3, 1e7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	if parseCell(t, tbl.Rows[1][2]) <= parseCell(t, tbl.Rows[0][2]) {
+		t.Error("sim: aggressive not above legacy")
+	}
+	if parseCell(t, tbl.Rows[1][3]) <= parseCell(t, tbl.Rows[0][3]) {
+		t.Error("model: aggressive not above legacy")
+	}
+	if parseCell(t, tbl.Rows[2][2]) <= 1 {
+		t.Error("capture ratio ≤ 1")
+	}
+	if _, err := Coexistence(aggressive, 0, 1e6, 1); err == nil {
+		t.Error("0 per group accepted")
+	}
+	if _, err := Coexistence(config.Params{}, 2, 1e6, 1); err == nil {
+		t.Error("invalid boosted params accepted")
+	}
+}
+
+func TestCoexistencePoliteBoostLosesToLegacy(t *testing.T) {
+	// The model-guided search's best homogeneous config is highly
+	// deferential (dc = [0 0 0 0]): it wins when everyone runs it, but
+	// *loses* per-station share against legacy CA1 stations — the
+	// deployment caveat this experiment exists to expose.
+	polite := config.Params{Name: "cw4-g4-dc0", CW: []int{4, 16, 64, 256}, DC: []int{0, 0, 0, 0}}
+	tbl, err := Coexistence(polite, 3, 1e7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := parseCell(t, tbl.Rows[2][2]); ratio >= 1 {
+		t.Errorf("polite boost capture ratio %v; expected < 1 (legacy wins)", ratio)
+	}
+}

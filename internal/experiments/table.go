@@ -1,0 +1,87 @@
+// Package experiments regenerates every table and figure of the paper,
+// plus the extension experiments of DESIGN.md. Each experiment is a
+// function producing a Table — the same rows/series the paper reports —
+// rendered as markdown or CSV by the harness (cmd/plcbench) and
+// asserted on by the benchmark suite.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier ("table2", "fig2", "E1", …).
+	ID string
+	// Title is the paper's caption-level description.
+	Title string
+	// Note carries reproduction remarks (substitutions, expected bands).
+	Note string
+	// Header names the columns.
+	Header []string
+	// Rows hold the cells, already formatted.
+	Rows [][]string
+}
+
+// AddRow appends a row of formatted cells; it panics on a column-count
+// mismatch, which is always a harness bug.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("experiments: table %s: row of %d cells, want %d", t.ID, len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteMarkdown renders the table as GitHub-flavored markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "%s\n\n", t.Note); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the table as CSV (header first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// f formats a float compactly for table cells.
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// e formats a count in the paper's scientific style (Table 2 prints
+// 1.6222·10⁵ etc.).
+func e(v uint64) string { return fmt.Sprintf("%.4e", float64(v)) }

@@ -1,0 +1,68 @@
+package hpav
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IEEE 1901 aggregates multiple Ethernet frames into one PLC frame
+// (Section 3.1): "The data are organized in physical blocks (PBs),
+// which are blocks of 512 bytes. Then, the PBs are organized in a MAC
+// protocol data unit (MPDU)". The aggregation sublayer below frames
+// each Ethernet frame with a 2-byte length prefix inside the MPDU
+// payload stream, which is then cut into PBs by the PHY — the standard
+// uses a richer ATS/confounder encoding, but the length-prefixed stream
+// preserves the property the experiments need: payload size determines
+// PB count determines frame duration.
+
+// maxAggregatedFrame bounds a single Ethernet frame inside an MPDU.
+const maxAggregatedFrame = 1518
+
+// Aggregate packs Ethernet frames into a single MPDU payload stream.
+// It returns an error if any frame is empty or oversized — the caller
+// (the MAC's aggregation timeout logic) decides how many frames fit.
+func Aggregate(frames [][]byte) ([]byte, error) {
+	var total int
+	for i, f := range frames {
+		if len(f) == 0 {
+			return nil, fmt.Errorf("hpav: aggregate: frame %d is empty", i)
+		}
+		if len(f) > maxAggregatedFrame {
+			return nil, fmt.Errorf("hpav: aggregate: frame %d is %d bytes (max %d)", i, len(f), maxAggregatedFrame)
+		}
+		total += 2 + len(f)
+	}
+	out := make([]byte, 0, total)
+	for _, f := range frames {
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(f)))
+		out = append(out, l[:]...)
+		out = append(out, f...)
+	}
+	return out, nil
+}
+
+// Disaggregate recovers the Ethernet frames from an MPDU payload
+// stream. Trailing zero padding (PB alignment) is tolerated: a zero
+// length prefix terminates the stream, since no aggregated frame may be
+// empty.
+func Disaggregate(payload []byte) ([][]byte, error) {
+	var frames [][]byte
+	off := 0
+	for off+2 <= len(payload) {
+		l := int(binary.LittleEndian.Uint16(payload[off : off+2]))
+		if l == 0 {
+			break // padding
+		}
+		off += 2
+		if off+l > len(payload) {
+			return nil, fmt.Errorf("hpav: disaggregate: frame of %d bytes truncated at offset %d", l, off)
+		}
+		if l > maxAggregatedFrame {
+			return nil, fmt.Errorf("hpav: disaggregate: frame of %d bytes exceeds maximum %d", l, maxAggregatedFrame)
+		}
+		frames = append(frames, payload[off:off+l])
+		off += l
+	}
+	return frames, nil
+}

@@ -1,0 +1,101 @@
+package hpav
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Emulator-control MME. Real HomePlug AV testbeds advance in wall-clock
+// time: the operator resets counters, waits 240 s while traffic flows,
+// then queries. The emulated testbed runs in virtual time, so the tools
+// need a way to say "run the test now". VS_EMULATOR is the vendor MME
+// providing that: it asks the emulated power strip to advance its
+// virtual clock by a duration. It deliberately follows the same
+// REQ/CNF encoding conventions as the real vendor messages.
+const (
+	// MMTypeEmulatorReq asks the emulator host to advance virtual time.
+	MMTypeEmulatorReq MMType = 0xA0F0
+	// MMTypeEmulatorCnf reports the host's virtual clock.
+	MMTypeEmulatorCnf MMType = 0xA0F1
+)
+
+// EmulatorOp selects the emulator-control operation.
+type EmulatorOp uint8
+
+const (
+	// EmulatorStatus queries the virtual clock without advancing it.
+	EmulatorStatus EmulatorOp = 0
+	// EmulatorRun advances the virtual clock by DurationMicros.
+	EmulatorRun EmulatorOp = 1
+)
+
+// String names the operation.
+func (op EmulatorOp) String() string {
+	switch op {
+	case EmulatorStatus:
+		return "status"
+	case EmulatorRun:
+		return "run"
+	default:
+		return fmt.Sprintf("EmulatorOp(%d)", uint8(op))
+	}
+}
+
+// EmulatorReq is the body of a VS_EMULATOR.REQ.
+type EmulatorReq struct {
+	Op EmulatorOp
+	// DurationMicros is the virtual time to advance (EmulatorRun only).
+	DurationMicros uint64
+}
+
+// emulatorReqLen: op(1) + duration(8).
+const emulatorReqLen = 9
+
+// Marshal encodes the request body.
+func (r *EmulatorReq) Marshal() []byte {
+	b := make([]byte, emulatorReqLen)
+	b[0] = byte(r.Op)
+	binary.LittleEndian.PutUint64(b[1:9], r.DurationMicros)
+	return b
+}
+
+// UnmarshalEmulatorReq decodes and validates a request body.
+func UnmarshalEmulatorReq(b []byte) (*EmulatorReq, error) {
+	if len(b) < emulatorReqLen {
+		return nil, fmt.Errorf("%w: emulator request %d bytes, need %d", ErrPayload, len(b), emulatorReqLen)
+	}
+	r := &EmulatorReq{Op: EmulatorOp(b[0]), DurationMicros: binary.LittleEndian.Uint64(b[1:9])}
+	if r.Op > EmulatorRun {
+		return nil, fmt.Errorf("%w: unknown emulator op %d", ErrPayload, b[0])
+	}
+	if r.Op == EmulatorRun && r.DurationMicros == 0 {
+		return nil, fmt.Errorf("%w: run with zero duration", ErrPayload)
+	}
+	return r, nil
+}
+
+// EmulatorCnf is the body of a VS_EMULATOR.CNF.
+type EmulatorCnf struct {
+	Status uint8 // 0 = success
+	// ClockMicros is the emulator's virtual clock after the operation.
+	ClockMicros uint64
+}
+
+// emulatorCnfLen: status(1) + clock(8).
+const emulatorCnfLen = 9
+
+// Marshal encodes the confirmation body.
+func (c *EmulatorCnf) Marshal() []byte {
+	b := make([]byte, emulatorCnfLen)
+	b[0] = c.Status
+	binary.LittleEndian.PutUint64(b[1:9], c.ClockMicros)
+	return b
+}
+
+// UnmarshalEmulatorCnf decodes a confirmation body.
+func UnmarshalEmulatorCnf(b []byte) (*EmulatorCnf, error) {
+	if len(b) < emulatorCnfLen {
+		return nil, fmt.Errorf("%w: emulator confirm %d bytes, need %d", ErrPayload, len(b), emulatorCnfLen)
+	}
+	return &EmulatorCnf{Status: b[0], ClockMicros: binary.LittleEndian.Uint64(b[1:9])}, nil
+}

@@ -1,0 +1,106 @@
+package hpav
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SnifferControl switches the device's sniffer mode, mirroring faifa's
+// 0xA034 option (Section 3.3): when enabled, the device forwards the
+// SoF delimiter of every PLC frame it hears — data, beacons and
+// management alike — to the host as VS_SNIFFER.IND messages.
+type SnifferControl uint8
+
+const (
+	// SnifferDisable turns capture off.
+	SnifferDisable SnifferControl = 0
+	// SnifferEnable turns capture on.
+	SnifferEnable SnifferControl = 1
+)
+
+// String names the control code.
+func (c SnifferControl) String() string {
+	switch c {
+	case SnifferDisable:
+		return "disable"
+	case SnifferEnable:
+		return "enable"
+	default:
+		return fmt.Sprintf("SnifferControl(%d)", uint8(c))
+	}
+}
+
+// SnifferReq is the body of a VS_SNIFFER.REQ.
+type SnifferReq struct {
+	Control SnifferControl
+}
+
+// Marshal encodes the request body.
+func (r *SnifferReq) Marshal() []byte { return []byte{byte(r.Control)} }
+
+// UnmarshalSnifferReq decodes and validates a request body.
+func UnmarshalSnifferReq(b []byte) (*SnifferReq, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: empty sniffer request", ErrPayload)
+	}
+	c := SnifferControl(b[0])
+	if c > SnifferEnable {
+		return nil, fmt.Errorf("%w: unknown sniffer control %d", ErrPayload, b[0])
+	}
+	return &SnifferReq{Control: c}, nil
+}
+
+// SnifferCnf confirms a sniffer-mode change.
+type SnifferCnf struct {
+	Status uint8 // 0 = success
+	State  SnifferControl
+}
+
+// Marshal encodes the confirmation body.
+func (c *SnifferCnf) Marshal() []byte { return []byte{c.Status, byte(c.State)} }
+
+// UnmarshalSnifferCnf decodes a confirmation body.
+func UnmarshalSnifferCnf(b []byte) (*SnifferCnf, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("%w: sniffer confirm %d bytes, need 2", ErrPayload, len(b))
+	}
+	return &SnifferCnf{Status: b[0], State: SnifferControl(b[1])}, nil
+}
+
+// SnifferInd carries one captured delimiter to the host, stamped with
+// the capture time. faifa prints exactly these fields; the capture
+// pipeline of Section 3.3 (burst counting via MPDUCnt, MME-overhead
+// estimation via LinkID, fairness via STEI) consumes them.
+type SnifferInd struct {
+	// TimestampMicros is the device's µs clock at capture time.
+	TimestampMicros uint64
+	// SoF is the captured start-of-frame delimiter. Only SoF delimiters
+	// are forwarded — the tool "can only capture the SoF delimiters and
+	// not the frame content" (Section 3.3).
+	SoF SoF
+}
+
+// snifferIndHeaderLen: timestamp(8).
+const snifferIndHeaderLen = 8
+
+// Marshal encodes the indication body.
+func (i *SnifferInd) Marshal() []byte {
+	b := make([]byte, snifferIndHeaderLen, snifferIndHeaderLen+sofLen)
+	binary.LittleEndian.PutUint64(b[0:8], i.TimestampMicros)
+	return append(b, i.SoF.Marshal()...)
+}
+
+// UnmarshalSnifferInd decodes an indication body.
+func UnmarshalSnifferInd(b []byte) (*SnifferInd, error) {
+	if len(b) < snifferIndHeaderLen+sofLen {
+		return nil, fmt.Errorf("%w: sniffer indication %d bytes, need %d", ErrPayload, len(b), snifferIndHeaderLen+sofLen)
+	}
+	sof, err := UnmarshalSoF(b[snifferIndHeaderLen:])
+	if err != nil {
+		return nil, err
+	}
+	return &SnifferInd{
+		TimestampMicros: binary.LittleEndian.Uint64(b[0:8]),
+		SoF:             *sof,
+	}, nil
+}

@@ -1,0 +1,155 @@
+package hpav
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// StatsControl selects what a VS_STATS.REQ does, mirroring ampstat's
+// reset/fetch semantics (Section 3.2: "we can reset to 0 or retrieve
+// the number of acknowledged and collided PLC frames given the
+// destination MAC address, the priority, and the direction").
+type StatsControl uint8
+
+const (
+	// StatsFetch retrieves the counters without modifying them.
+	StatsFetch StatsControl = 0
+	// StatsReset clears the counters for the addressed link.
+	StatsReset StatsControl = 1
+)
+
+// String names the control code.
+func (c StatsControl) String() string {
+	switch c {
+	case StatsFetch:
+		return "fetch"
+	case StatsReset:
+		return "reset"
+	default:
+		return fmt.Sprintf("StatsControl(%d)", uint8(c))
+	}
+}
+
+// StatsDirection selects the link direction of the queried counters.
+type StatsDirection uint8
+
+const (
+	// DirectionTx selects frames transmitted toward the peer.
+	DirectionTx StatsDirection = 0
+	// DirectionRx selects frames received from the peer.
+	DirectionRx StatsDirection = 1
+)
+
+// String names the direction.
+func (d StatsDirection) String() string {
+	switch d {
+	case DirectionTx:
+		return "tx"
+	case DirectionRx:
+		return "rx"
+	default:
+		return fmt.Sprintf("StatsDirection(%d)", uint8(d))
+	}
+}
+
+// StatsReq is the body of a VS_STATS.REQ (MMType 0xA030): reset or
+// fetch the MPDU counters of the link to PeerAddress at the given
+// priority and direction.
+type StatsReq struct {
+	Control   StatsControl
+	Direction StatsDirection
+	Priority  config.Priority
+	// PeerAddress is the MAC of the link's remote end (the destination
+	// station D in the paper's experiments).
+	PeerAddress MAC
+}
+
+// statsReqLen: control(1) + direction(1) + priority(1) + peer(6).
+const statsReqLen = 9
+
+// Marshal encodes the request body.
+func (r *StatsReq) Marshal() []byte {
+	b := make([]byte, statsReqLen)
+	b[0] = byte(r.Control)
+	b[1] = byte(r.Direction)
+	b[2] = byte(r.Priority)
+	copy(b[3:9], r.PeerAddress[:])
+	return b
+}
+
+// UnmarshalStatsReq decodes and validates a request body.
+func UnmarshalStatsReq(b []byte) (*StatsReq, error) {
+	if len(b) < statsReqLen {
+		return nil, fmt.Errorf("%w: stats request %d bytes, need %d", ErrPayload, len(b), statsReqLen)
+	}
+	r := &StatsReq{
+		Control:   StatsControl(b[0]),
+		Direction: StatsDirection(b[1]),
+		Priority:  config.Priority(b[2]),
+	}
+	copy(r.PeerAddress[:], b[3:9])
+	if r.Control > StatsReset {
+		return nil, fmt.Errorf("%w: unknown stats control %d", ErrPayload, b[0])
+	}
+	if r.Direction > DirectionRx {
+		return nil, fmt.Errorf("%w: unknown stats direction %d", ErrPayload, b[1])
+	}
+	if !r.Priority.Valid() {
+		return nil, fmt.Errorf("%w: invalid priority %d", ErrPayload, b[2])
+	}
+	return r, nil
+}
+
+// StatsCnf is the body of a VS_STATS.CNF (MMType 0xA031).
+//
+// Layout (offsets within the payload, which itself starts at byte 23 of
+// the frame, 1-based):
+//
+//	+0  status (0 = success)
+//	+1  direction echoed from the request
+//	+2  acked, uint64 little-endian   → frame bytes 25–32 (1-based)
+//	+10 collided, uint64 little-endian → frame bytes 33–40 (1-based)
+//
+// matching the INT6300 reply layout the paper decodes in Section 3.2.
+type StatsCnf struct {
+	Status    uint8
+	Direction StatsDirection
+	// Acked counts MPDUs that received a selective acknowledgment —
+	// including collided MPDUs, which the destination still
+	// acknowledges with an all-blocks-errored indication. This is the
+	// Aᵢ of the paper.
+	Acked uint64
+	// Collided counts MPDUs lost to collisions — the Cᵢ of the paper.
+	Collided uint64
+}
+
+// statsCnfLen: status(1) + direction(1) + acked(8) + collided(8).
+const statsCnfLen = 18
+
+// StatsStatusSuccess indicates a successful stats operation.
+const StatsStatusSuccess = 0
+
+// Marshal encodes the confirmation body.
+func (c *StatsCnf) Marshal() []byte {
+	b := make([]byte, statsCnfLen)
+	b[0] = c.Status
+	b[1] = byte(c.Direction)
+	binary.LittleEndian.PutUint64(b[2:10], c.Acked)
+	binary.LittleEndian.PutUint64(b[10:18], c.Collided)
+	return b
+}
+
+// UnmarshalStatsCnf decodes a confirmation body.
+func UnmarshalStatsCnf(b []byte) (*StatsCnf, error) {
+	if len(b) < statsCnfLen {
+		return nil, fmt.Errorf("%w: stats confirm %d bytes, need %d", ErrPayload, len(b), statsCnfLen)
+	}
+	return &StatsCnf{
+		Status:    b[0],
+		Direction: StatsDirection(b[1]),
+		Acked:     binary.LittleEndian.Uint64(b[2:10]),
+		Collided:  binary.LittleEndian.Uint64(b[10:18]),
+	}, nil
+}

@@ -1,0 +1,486 @@
+package mac
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/backoff"
+	"repro/internal/config"
+	"repro/internal/hpav"
+	"repro/internal/phy"
+	"repro/internal/timing"
+)
+
+var inf = math.Inf(1)
+
+// EventKind classifies what happened on the medium.
+type EventKind int
+
+const (
+	// EventIdle is an empty contention slot.
+	EventIdle EventKind = iota
+	// EventSuccess is a burst delivered without collision.
+	EventSuccess
+	// EventCollision is two or more overlapping bursts.
+	EventCollision
+	// EventQuiet is a traffic-less fast-forward period (unsaturated
+	// scenarios only).
+	EventQuiet
+	// EventBeacon is a central-coordinator beacon busy period.
+	EventBeacon
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventIdle:
+		return "idle"
+	case EventSuccess:
+		return "success"
+	case EventCollision:
+		return "collision"
+	case EventQuiet:
+		return "quiet"
+	case EventBeacon:
+		return "beacon"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event describes one medium event for observers.
+type Event struct {
+	// Time is the event's start in simulated µs.
+	Time float64
+	// Duration of the event.
+	Duration float64
+	// Kind of event.
+	Kind EventKind
+	// Class is the contending priority class (success/collision/idle
+	// with contenders present).
+	Class config.Priority
+	// Transmitters lists the stations that transmitted.
+	Transmitters []hpav.TEI
+	// Burst is the winning burst on success (nil otherwise).
+	Burst *hpav.Burst
+	// ErroredPBs counts physical blocks corrupted by the channel in a
+	// successful burst.
+	ErroredPBs int
+}
+
+// Observer receives every medium event. Callbacks run on the simulation
+// goroutine; the Event's Burst is shared — do not mutate.
+type Observer interface {
+	OnEvent(ev Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(ev Event)
+
+// OnEvent calls f.
+func (f ObserverFunc) OnEvent(ev Event) { f(ev) }
+
+// Stats aggregates network-level outcomes of a run.
+type Stats struct {
+	// Successes counts successful bursts; SuccessMPDUs the MPDUs they
+	// carried.
+	Successes    int64
+	SuccessMPDUs int64
+	// Collisions counts collision events; CollidedMPDUs the MPDUs of
+	// all bursts involved.
+	Collisions    int64
+	CollidedMPDUs int64
+	// IdleSlots counts empty contention slots with contenders present.
+	IdleSlots int64
+	// QuietTime is simulated time with no pending traffic anywhere.
+	QuietTime float64
+	// Elapsed is the total simulated time advanced.
+	Elapsed float64
+	// PayloadMicros is the cumulative useful payload time delivered.
+	PayloadMicros float64
+	// ErroredPBs counts channel-corrupted physical blocks.
+	ErroredPBs int64
+	// DeliveredPBs counts physical blocks received intact; with an
+	// error model active, goodput = DeliveredPBs/(DeliveredPBs +
+	// ErroredPBs) of the payload time.
+	DeliveredPBs int64
+	// Beacons counts central-coordinator beacon periods.
+	Beacons int64
+	// AccessDelays holds one sample per successful burst — the time
+	// from the frame reaching the head of its queue to the end of its
+	// successful transmission (µs) — when delay recording is enabled.
+	AccessDelays []float64
+	// PerClass breaks successes/collisions down by priority class.
+	PerClass map[config.Priority]*ClassStats
+}
+
+// ClassStats are per-priority outcome counts.
+type ClassStats struct {
+	Successes  int64
+	Collisions int64
+}
+
+// Network is the single contention domain ("all stations are attached
+// to the same power strip") coordinating the attached stations.
+type Network struct {
+	stations []*Station
+	byTEI    map[hpav.TEI]*Station
+	byAddr   map[hpav.MAC]*Station
+
+	overheads timing.Overheads
+	errModel  phy.ErrorModel
+
+	clock     float64
+	observers []Observer
+	stats     Stats
+
+	beaconPeriod float64
+	nextBeacon   float64
+	recordDelays bool
+}
+
+// NewNetwork builds an empty contention domain with the paper's timing
+// overheads and an error-free channel.
+func NewNetwork() *Network {
+	n := &Network{
+		byTEI:     make(map[hpav.TEI]*Station),
+		byAddr:    make(map[hpav.MAC]*Station),
+		overheads: timing.DefaultOverheads(),
+		errModel:  phy.None{},
+	}
+	n.stats.PerClass = make(map[config.Priority]*ClassStats)
+	return n
+}
+
+// SetOverheads replaces the timing overheads (must be valid).
+func (n *Network) SetOverheads(o timing.Overheads) {
+	if err := o.Validate(); err != nil {
+		panic(fmt.Sprintf("mac: SetOverheads: %v", err))
+	}
+	n.overheads = o
+}
+
+// SetErrorModel installs a PB corruption model (nil restores the
+// error-free channel).
+func (n *Network) SetErrorModel(m phy.ErrorModel) {
+	if m == nil {
+		m = phy.None{}
+	}
+	n.errModel = m
+}
+
+// EnableBeacons makes the contention domain carry a central-coordinator
+// beacon every period µs (HomePlug AV beacons every two AC line cycles:
+// 33.33 ms at 60 Hz, 40 ms at 50 Hz). Beacons are delimiter-only busy
+// periods sent without contention; every contending station senses them
+// busy, consuming one counter decrement like any other busy period.
+// period ≤ 0 disables beacons.
+func (n *Network) EnableBeacons(period float64) {
+	if period <= 0 {
+		n.beaconPeriod = 0
+		return
+	}
+	n.beaconPeriod = period
+	n.nextBeacon = n.clock + period
+}
+
+// RecordDelays toggles per-burst access-delay sampling into
+// Stats.AccessDelays (off by default: a week-long run would accumulate
+// millions of samples).
+func (n *Network) RecordDelays(on bool) { n.recordDelays = on }
+
+// Attach adds a station to the contention domain. TEIs and MACs must be
+// unique.
+func (n *Network) Attach(s *Station) {
+	if s == nil {
+		panic("mac: Attach(nil)")
+	}
+	if _, dup := n.byTEI[s.TEI]; dup {
+		panic(fmt.Sprintf("mac: duplicate TEI %d", s.TEI))
+	}
+	if _, dup := n.byAddr[s.Addr]; dup {
+		panic(fmt.Sprintf("mac: duplicate MAC %s", s.Addr))
+	}
+	n.stations = append(n.stations, s)
+	n.byTEI[s.TEI] = s
+	n.byAddr[s.Addr] = s
+}
+
+// Observe registers an observer for medium events.
+func (n *Network) Observe(o Observer) { n.observers = append(n.observers, o) }
+
+// Station returns the station with the given TEI, or nil.
+func (n *Network) Station(tei hpav.TEI) *Station { return n.byTEI[tei] }
+
+// StationByAddr returns the station with the given MAC, or nil.
+func (n *Network) StationByAddr(addr hpav.MAC) *Station { return n.byAddr[addr] }
+
+// Stations returns the attached stations in attach order.
+func (n *Network) Stations() []*Station { return n.stations }
+
+// Now returns the current simulated time in µs.
+func (n *Network) Now() float64 { return n.clock }
+
+// Stats returns a copy of the aggregate statistics so far.
+func (n *Network) Stats() Stats {
+	out := n.stats
+	out.PerClass = make(map[config.Priority]*ClassStats, len(n.stats.PerClass))
+	for k, v := range n.stats.PerClass {
+		c := *v
+		out.PerClass[k] = &c
+	}
+	out.AccessDelays = append([]float64(nil), n.stats.AccessDelays...)
+	return out
+}
+
+func (n *Network) classStats(pri config.Priority) *ClassStats {
+	c := n.stats.PerClass[pri]
+	if c == nil {
+		c = &ClassStats{}
+		n.stats.PerClass[pri] = c
+	}
+	return c
+}
+
+func (n *Network) emit(ev Event) {
+	for _, o := range n.observers {
+		o.OnEvent(ev)
+	}
+}
+
+// Run advances the network by the given simulated duration (µs). It can
+// be called repeatedly; the paper's reset–run–fetch cycle maps to
+// Counters.Reset, Run, Counters.Fetch.
+func (n *Network) Run(duration float64) {
+	if duration <= 0 || math.IsNaN(duration) || math.IsInf(duration, 0) {
+		panic(fmt.Sprintf("mac: Run(%v): duration must be positive and finite", duration))
+	}
+	end := n.clock + duration
+	for n.clock < end {
+		n.step(end)
+	}
+	n.stats.Elapsed = n.clock
+}
+
+// step executes one medium event.
+func (n *Network) step(end float64) {
+	now := n.clock
+
+	// Beacon region: the central coordinator's beacon preempts the
+	// contention period.
+	if n.beaconPeriod > 0 && n.nextBeacon <= now {
+		n.beacon(now)
+		return
+	}
+
+	// Priority resolution: each station that intends to contend
+	// signals its class in the two priority-resolution slots; the tone
+	// protocol elects the highest contending class and every lower
+	// class defers (its engines freeze).
+	var classes []config.Priority
+	for _, s := range n.stations {
+		if pri, ok := s.highestPending(now); ok {
+			classes = append(classes, pri)
+		}
+	}
+	activeClass, anyPending := ResolvePriority(classes)
+
+	if !anyPending {
+		// Fast-forward to the next arrival (or the run's end).
+		next := end
+		for _, s := range n.stations {
+			if t := s.nextArrival(now); t < next {
+				next = t
+			}
+		}
+		if next <= now {
+			next = now + timing.SlotTime
+		}
+		d := next - now
+		n.stats.QuietTime += d
+		n.clock = next
+		n.emit(Event{Time: now, Duration: d, Kind: EventQuiet})
+		return
+	}
+
+	// Contenders: stations with pending traffic in the active class.
+	var contenders []*Station
+	var txs []*Station
+	for _, s := range n.stations {
+		if !s.pendingAt(activeClass, now) {
+			continue
+		}
+		contenders = append(contenders, s)
+		if s.contend(activeClass, now) == backoff.Transmit {
+			txs = append(txs, s)
+		}
+	}
+
+	switch len(txs) {
+	case 0:
+		n.stats.IdleSlots++
+		for _, s := range contenders {
+			s.afterIdle(activeClass)
+		}
+		n.clock = now + timing.SlotTime
+		n.emit(Event{Time: now, Duration: timing.SlotTime, Kind: EventIdle, Class: activeClass})
+
+	case 1:
+		n.success(txs[0], activeClass, now)
+
+	default:
+		n.collision(txs, activeClass, now)
+	}
+}
+
+// success delivers the winner's burst.
+func (n *Network) success(w *Station, pri config.Priority, now float64) {
+	burst, spec := w.takeBurst(pri, now)
+	k := len(burst.MPDUs)
+
+	// Duration: priority resolution + each MPDU's preamble and payload
+	// + the response interval with one selective ACK + CIFS.
+	o := n.overheads
+	d := o.PRS + float64(k)*(o.Preamble+spec.FrameMicros) + o.RIFS + o.Ack + o.CIFS
+
+	// Channel errors: corrupt PBs of the delivered burst.
+	errored := 0
+	for i := 0; i < k*spec.PBsPerMPDU; i++ {
+		if n.errModel.Corrupt() {
+			errored++
+		}
+	}
+	delivered := k*spec.PBsPerMPDU - errored
+
+	// Firmware counters: the transmitter's tx link gets k acked MPDUs;
+	// the destination's rx link mirrors them.
+	txKey := LinkKey{Peer: spec.DstAddr, Priority: pri, Direction: hpav.DirectionTx}
+	w.counters.AddAcked(txKey, uint64(k))
+	if dst := n.byTEI[spec.Dst]; dst != nil {
+		rxKey := LinkKey{Peer: w.Addr, Priority: pri, Direction: hpav.DirectionRx}
+		dst.counters.AddAcked(rxKey, uint64(k))
+	}
+
+	// Sniffer capture: stations in sniffer mode hear every SoF of the
+	// burst (same contention domain).
+	n.capture(burst, now)
+
+	// Backoff: winner restarts at stage 0; other contenders absorb one
+	// busy period.
+	for _, s := range n.stations {
+		if !s.active[pri] {
+			continue
+		}
+		if s == w {
+			s.afterBusy(pri, true, true)
+		} else {
+			s.afterBusy(pri, false, true)
+		}
+	}
+	if n.recordDelays {
+		n.stats.AccessDelays = append(n.stats.AccessDelays, now+d-w.headSince[pri])
+	}
+	if w.pendingAt(pri, now) {
+		// The next frame becomes head of line when this burst ends.
+		w.headSince[pri] = now + d
+	} else {
+		w.quiesce(pri)
+	}
+
+	n.stats.Successes++
+	n.stats.SuccessMPDUs += int64(k)
+	n.stats.PayloadMicros += float64(k) * spec.FrameMicros
+	n.stats.ErroredPBs += int64(errored)
+	n.stats.DeliveredPBs += int64(delivered)
+	n.classStats(pri).Successes++
+	n.clock = now + d
+	n.emit(Event{
+		Time: now, Duration: d, Kind: EventSuccess, Class: pri,
+		Transmitters: []hpav.TEI{w.TEI}, Burst: burst, ErroredPBs: errored,
+	})
+}
+
+// collision wastes the medium for all transmitters. The colliding
+// frames are NOT consumed from their flows: the retry limit is
+// infinite, the station re-contends with the same frame (the paper's
+// simulator makes the same assumption).
+func (n *Network) collision(txs []*Station, pri config.Priority, now float64) {
+	teis := make([]hpav.TEI, 0, len(txs))
+	var maxFrame float64
+	var collidedMPDUs int64
+
+	for _, s := range txs {
+		spec := s.peekSpec(pri, now)
+		teis = append(teis, s.TEI)
+		if spec.FrameMicros > maxFrame {
+			maxFrame = spec.FrameMicros
+		}
+		k := uint64(spec.MPDUs)
+		collidedMPDUs += int64(k)
+		// Section 3.2: the destination decodes the robust preamble and
+		// acknowledges the collided frame with an all-errored
+		// indication — so the Acked counter advances together with the
+		// Collided counter.
+		txKey := LinkKey{Peer: spec.DstAddr, Priority: pri, Direction: hpav.DirectionTx}
+		s.counters.AddAcked(txKey, k)
+		s.counters.AddCollided(txKey, k)
+	}
+
+	o := n.overheads
+	d := o.CollisionDuration(maxFrame)
+
+	for _, s := range n.stations {
+		if !s.active[pri] {
+			continue
+		}
+		transmitted := false
+		for _, x := range txs {
+			if x == s {
+				transmitted = true
+				break
+			}
+		}
+		s.afterBusy(pri, transmitted, false)
+	}
+
+	n.stats.Collisions++
+	n.stats.CollidedMPDUs += collidedMPDUs
+	n.classStats(pri).Collisions++
+	n.clock = now + d
+	n.emit(Event{
+		Time: now, Duration: d, Kind: EventCollision, Class: pri,
+		Transmitters: teis,
+	})
+}
+
+// capture fans captured SoF delimiters out to sniffer-enabled stations.
+func (n *Network) capture(burst *hpav.Burst, now float64) {
+	for _, s := range n.stations {
+		if !s.SnifferEnabled || s.Sniffer == nil {
+			continue
+		}
+		for i := range burst.MPDUs {
+			s.Sniffer(hpav.SnifferInd{
+				TimestampMicros: uint64(now),
+				SoF:             burst.MPDUs[i].SoF,
+			})
+		}
+	}
+}
+
+// beacon carries one central-coordinator beacon: a delimiter-only busy
+// period every station senses.
+func (n *Network) beacon(now float64) {
+	d := n.overheads.Preamble + n.overheads.CIFS
+	for _, s := range n.stations {
+		for pri := range s.active {
+			if s.active[pri] {
+				s.afterBusy(pri, false, true)
+			}
+		}
+	}
+	n.stats.Beacons++
+	n.nextBeacon += n.beaconPeriod
+	n.clock = now + d
+	n.emit(Event{Time: now, Duration: d, Kind: EventBeacon})
+}

@@ -1,0 +1,58 @@
+package mac
+
+import "repro/internal/config"
+
+// Priority resolution, as the standard actually performs it: two
+// priority-resolution slots (PRS0, PRS1) follow each busy period. A
+// station intending to contend signals a busy tone in PRS0 if the high
+// bit of its class is set (CA2/CA3), and in PRS1 if the low bit is set
+// (CA1/CA3) — but a station that stayed silent in PRS0 while someone
+// else signalled has already lost and keeps silent in PRS1. The
+// surviving bit pattern spells the winning class; everyone below defers
+// ("the rest of the priority classes defer their transmission until
+// the highest contending priority class does not transmit a busy tone
+// during the corresponding slot").
+//
+// ResolvePriority implements exactly that two-slot tone protocol. For a
+// single contention domain the outcome necessarily equals the maximum
+// contending class — TestResolvePriorityEqualsMax pins the equivalence
+// — but modeling the mechanism keeps the door open for the multi-domain
+// scenarios where tones, not global knowledge, are all a station hears.
+func ResolvePriority(contending []config.Priority) (config.Priority, bool) {
+	if len(contending) == 0 {
+		return 0, false
+	}
+
+	// PRS0: stations with the high priority bit signal.
+	prs0 := false
+	for _, p := range contending {
+		if uint8(p)&0b10 != 0 {
+			prs0 = true
+			break
+		}
+	}
+
+	// PRS1: stations still in the race with the low bit signal. A
+	// station is still in the race if its high bit matched the PRS0
+	// outcome (it signalled, or nobody did).
+	prs1 := false
+	for _, p := range contending {
+		hi := uint8(p)&0b10 != 0
+		if hi != prs0 {
+			continue // lost in PRS0
+		}
+		if uint8(p)&0b01 != 0 {
+			prs1 = true
+			break
+		}
+	}
+
+	winner := config.Priority(0)
+	if prs0 {
+		winner |= 0b10
+	}
+	if prs1 {
+		winner |= 0b01
+	}
+	return winner, true
+}

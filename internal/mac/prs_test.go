@@ -1,0 +1,64 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+)
+
+func TestResolvePriorityEmpty(t *testing.T) {
+	if _, ok := ResolvePriority(nil); ok {
+		t.Error("empty contention resolved to a class")
+	}
+}
+
+func TestResolvePriorityKnownCases(t *testing.T) {
+	tests := []struct {
+		in   []config.Priority
+		want config.Priority
+	}{
+		{[]config.Priority{config.CA0}, config.CA0},
+		{[]config.Priority{config.CA1}, config.CA1},
+		{[]config.Priority{config.CA2}, config.CA2},
+		{[]config.Priority{config.CA3}, config.CA3},
+		{[]config.Priority{config.CA0, config.CA1}, config.CA1},
+		{[]config.Priority{config.CA1, config.CA2}, config.CA2},
+		{[]config.Priority{config.CA2, config.CA3}, config.CA3},
+		// The interesting case for the tone protocol: CA1 (01) must not
+		// pollute PRS1 after losing PRS0 to CA2 (10) — a naive OR of
+		// both slots would elect CA3 (11), which nobody signalled.
+		{[]config.Priority{config.CA1, config.CA2, config.CA1}, config.CA2},
+		{[]config.Priority{config.CA0, config.CA2}, config.CA2},
+		{[]config.Priority{config.CA1, config.CA1}, config.CA1},
+	}
+	for _, tc := range tests {
+		got, ok := ResolvePriority(tc.in)
+		if !ok || got != tc.want {
+			t.Errorf("ResolvePriority(%v) = %v, %v; want %v", tc.in, got, ok, tc.want)
+		}
+	}
+}
+
+// Property: the two-slot tone protocol always elects exactly the
+// maximum contending class in a single contention domain.
+func TestResolvePriorityEqualsMax(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		classes := make([]config.Priority, len(raw))
+		max := config.CA0
+		for i, r := range raw {
+			classes[i] = config.Priority(r % 4)
+			if classes[i] > max {
+				max = classes[i]
+			}
+		}
+		got, ok := ResolvePriority(classes)
+		return ok && got == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

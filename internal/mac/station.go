@@ -1,0 +1,240 @@
+package mac
+
+import (
+	"fmt"
+
+	"repro/internal/backoff"
+	"repro/internal/config"
+	"repro/internal/hpav"
+	"repro/internal/rng"
+	"repro/internal/traffic"
+)
+
+// BurstSpec describes what a flow transmits when its station wins the
+// channel: a burst of MPDUs to a destination.
+type BurstSpec struct {
+	// Dst is the destination station.
+	Dst hpav.TEI
+	// DstAddr is the destination's MAC (the counter key ampstat uses).
+	DstAddr hpav.MAC
+	// Priority is the channel-access class of the burst.
+	Priority config.Priority
+	// MPDUs is the burst size (1–4). The paper's testbed measures 2.
+	MPDUs int
+	// PBsPerMPDU is the number of 512-byte physical blocks per MPDU.
+	PBsPerMPDU int
+	// FrameMicros is the on-wire payload duration of one MPDU.
+	FrameMicros float64
+}
+
+// Validate checks the spec's ranges.
+func (s BurstSpec) Validate() error {
+	if s.MPDUs < 1 || s.MPDUs > hpav.MaxBurstMPDUs {
+		return fmt.Errorf("mac: burst of %d MPDUs (must be 1–%d)", s.MPDUs, hpav.MaxBurstMPDUs)
+	}
+	if s.PBsPerMPDU < 1 {
+		return fmt.Errorf("mac: %d PBs per MPDU (must be ≥ 1)", s.PBsPerMPDU)
+	}
+	if s.FrameMicros <= 0 {
+		return fmt.Errorf("mac: frame duration %v must be positive", s.FrameMicros)
+	}
+	if !s.Priority.Valid() {
+		return fmt.Errorf("mac: invalid priority %d", s.Priority)
+	}
+	return nil
+}
+
+// Flow binds a traffic source to a burst specification at one station.
+type Flow struct {
+	Source traffic.Source
+	Spec   BurstSpec
+}
+
+// Station is one PLC station of the emulated network: per-priority
+// backoff engines, traffic flows, and the firmware counter block.
+type Station struct {
+	// Name labels the station in traces ("sta1", "D", …).
+	Name string
+	// Addr is the station's MAC address.
+	Addr hpav.MAC
+	// TEI is the short identifier delimiters carry.
+	TEI hpav.TEI
+
+	flows     []*Flow
+	params    map[config.Priority]config.Params
+	engines   map[config.Priority]*backoff.Station
+	active    map[config.Priority]bool
+	intents   map[config.Priority]backoff.Action
+	counters  *Counters
+	src       *rng.Source
+	headSince map[config.Priority]float64
+
+	burstSeq uint32
+
+	// SnifferEnabled mirrors the device's sniffer mode: when set, the
+	// network delivers every observed SoF to the Sniffer callback.
+	SnifferEnabled bool
+	// Sniffer receives captured delimiters while SnifferEnabled.
+	Sniffer func(ind hpav.SnifferInd)
+}
+
+// NewStation builds a station with the standard Table 1 parameters for
+// every priority class.
+func NewStation(name string, tei hpav.TEI, addr hpav.MAC, src *rng.Source) *Station {
+	if src == nil {
+		panic("mac: NewStation: nil rng source")
+	}
+	params := make(map[config.Priority]config.Params, 4)
+	for _, p := range []config.Priority{config.CA0, config.CA1, config.CA2, config.CA3} {
+		params[p] = config.Default1901(p)
+	}
+	return &Station{
+		Name:      name,
+		Addr:      addr,
+		TEI:       tei,
+		params:    params,
+		engines:   make(map[config.Priority]*backoff.Station),
+		active:    make(map[config.Priority]bool),
+		intents:   make(map[config.Priority]backoff.Action),
+		headSince: make(map[config.Priority]float64),
+		counters:  NewCounters(),
+		src:       src,
+	}
+}
+
+// SetParams overrides the CSMA/CA parameters of one priority class —
+// the hook the boosting experiments use. It must be called before the
+// network starts; changing parameters mid-run would desynchronize the
+// engine state.
+func (s *Station) SetParams(pri config.Priority, p config.Params) {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("mac: SetParams: %v", err))
+	}
+	if s.engines[pri] != nil {
+		panic("mac: SetParams after the engine started")
+	}
+	s.params[pri] = p
+}
+
+// AddFlow attaches a traffic flow. Flows are served in order: the first
+// pending flow at the contending priority supplies the burst.
+func (s *Station) AddFlow(f *Flow) {
+	if f == nil || f.Source == nil {
+		panic("mac: AddFlow: nil flow or source")
+	}
+	if err := f.Spec.Validate(); err != nil {
+		panic(fmt.Sprintf("mac: AddFlow: %v", err))
+	}
+	s.flows = append(s.flows, f)
+}
+
+// Counters exposes the firmware counter block (the MME stats handler
+// reads it).
+func (s *Station) Counters() *Counters { return s.counters }
+
+// pendingAt reports whether any flow of class pri has traffic at now.
+func (s *Station) pendingAt(pri config.Priority, now float64) bool {
+	for _, f := range s.flows {
+		if f.Spec.Priority == pri && f.Source.Pending(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// highestPending returns the top contending class at now, if any.
+func (s *Station) highestPending(now float64) (config.Priority, bool) {
+	for pri := config.CA3; ; pri-- {
+		if s.pendingAt(pri, now) {
+			return pri, true
+		}
+		if pri == config.CA0 {
+			return 0, false
+		}
+	}
+}
+
+// nextArrival returns the earliest next arrival across flows.
+func (s *Station) nextArrival(now float64) float64 {
+	next := inf
+	for _, f := range s.flows {
+		if t := f.Source.NextArrival(now); t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// contend ensures the station's backoff engine for class pri is live
+// and returns its current intent. A station whose queue drained resets
+// to backoff stage 0 on the next frame, per the standard ("upon the
+// arrival of a new packet, a transmitting station enters backoff
+// stage 0").
+func (s *Station) contend(pri config.Priority, now float64) backoff.Action {
+	eng := s.engines[pri]
+	if eng == nil {
+		eng = backoff.NewStation(s.params[pri], s.src.Split(uint64(pri)))
+		s.engines[pri] = eng
+	}
+	if !s.active[pri] {
+		eng.Reset()
+		s.intents[pri] = eng.Start()
+		s.active[pri] = true
+		s.headSince[pri] = now
+	}
+	return s.intents[pri]
+}
+
+// afterIdle advances class pri across an idle slot.
+func (s *Station) afterIdle(pri config.Priority) {
+	s.intents[pri] = s.engines[pri].AfterIdle()
+}
+
+// afterBusy advances class pri across a busy period.
+func (s *Station) afterBusy(pri config.Priority, transmitted, success bool) {
+	s.intents[pri] = s.engines[pri].AfterBusy(transmitted, success)
+}
+
+// quiesce marks the class inactive (queue drained): the next frame
+// restarts at stage 0.
+func (s *Station) quiesce(pri config.Priority) { s.active[pri] = false }
+
+// takeBurst consumes one frame from the first pending flow at pri and
+// materializes the burst it describes.
+func (s *Station) takeBurst(pri config.Priority, now float64) (*hpav.Burst, BurstSpec) {
+	for _, f := range s.flows {
+		if f.Spec.Priority != pri || !f.Source.Pending(now) {
+			continue
+		}
+		f.Source.Take(now)
+		s.burstSeq++
+		b, err := hpav.NewBurst(f.Spec.MPDUs, s.TEI, f.Spec.Dst, pri,
+			f.Spec.PBsPerMPDU, f.Spec.FrameMicros, s.burstSeq)
+		if err != nil {
+			panic(fmt.Sprintf("mac: takeBurst: %v", err)) // spec validated at AddFlow
+		}
+		return b, f.Spec
+	}
+	panic("mac: takeBurst called with no pending flow")
+}
+
+// peekSpec returns the burst specification of the first pending flow at
+// pri without consuming the frame — used by the collision path, where
+// the frame stays queued for retry.
+func (s *Station) peekSpec(pri config.Priority, now float64) BurstSpec {
+	for _, f := range s.flows {
+		if f.Spec.Priority == pri && f.Source.Pending(now) {
+			return f.Spec
+		}
+	}
+	panic("mac: peekSpec called with no pending flow")
+}
+
+// engineSnapshot exposes the backoff counters of one class for traces.
+func (s *Station) engineSnapshot(pri config.Priority) (backoff.Snapshot, bool) {
+	eng := s.engines[pri]
+	if eng == nil {
+		return backoff.Snapshot{}, false
+	}
+	return eng.Snapshot(), true
+}

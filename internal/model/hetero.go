@@ -1,0 +1,148 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/config"
+)
+
+// Group is a set of identically configured stations inside a
+// heterogeneous contention domain.
+type Group struct {
+	// N is the number of stations in the group.
+	N int
+	// Params is the group's CSMA/CA configuration.
+	Params config.Params
+}
+
+// HeteroPrediction is the multi-group fixed point: per-group attempt
+// probabilities and collision probabilities, plus derived per-group
+// throughput shares.
+type HeteroPrediction struct {
+	// Tau[i] is group i's per-slot attempt probability.
+	Tau []float64
+	// Gamma[i] is group i's conditional collision probability:
+	// 1 − Π_j (1−τ_j)^(n_j − [i=j]).
+	Gamma []float64
+	// Iterations used by the solver.
+	Iterations int
+}
+
+// SolveHeterogeneous extends the decoupling fixed point to multiple
+// station groups with different (cw, dc) configurations — the model
+// needed to analyze coexistence between boosted and default stations.
+// Each group's station solves the same renewal-reward equation as in
+// the homogeneous model, but against a busy probability composed from
+// every other station's attempt rate:
+//
+//	p_i = 1 − (1−τ_i)^(n_i−1) · Π_{j≠i} (1−τ_j)^(n_j)
+//
+// The joint fixed point is solved by damped simultaneous iteration.
+func SolveHeterogeneous(groups []Group, opts Options) (HeteroPrediction, error) {
+	if len(groups) == 0 {
+		return HeteroPrediction{}, fmt.Errorf("model: no groups")
+	}
+	total := 0
+	for i, g := range groups {
+		if g.N < 1 {
+			return HeteroPrediction{}, fmt.Errorf("model: group %d has N=%d", i, g.N)
+		}
+		if err := g.Params.Validate(); err != nil {
+			return HeteroPrediction{}, fmt.Errorf("model: group %d: %w", i, err)
+		}
+		total += g.N
+	}
+	opts = opts.withDefaults()
+
+	k := len(groups)
+	tau := make([]float64, k)
+	for i := range tau {
+		tau[i] = 0.1
+	}
+	gammaOf := func(tau []float64, i int) float64 {
+		q := 1.0
+		for j, g := range groups {
+			exp := float64(g.N)
+			if j == i {
+				exp--
+			}
+			q *= math.Pow(1-tau[j], exp)
+		}
+		return 1 - q
+	}
+
+	next := make([]float64, k)
+	for it := 1; it <= opts.MaxIterations; it++ {
+		var maxDelta float64
+		for i, g := range groups {
+			p := gammaOf(tau, i)
+			v, _ := tauGivenP(g.Params, p)
+			next[i] = tau[i] + opts.Damping*(v-tau[i])
+			if d := math.Abs(next[i] - tau[i]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		copy(tau, next)
+		if maxDelta < opts.Tolerance {
+			pred := HeteroPrediction{Tau: tau, Gamma: make([]float64, k), Iterations: it}
+			for i := range groups {
+				pred.Gamma[i] = gammaOf(tau, i)
+			}
+			return pred, nil
+		}
+	}
+	return HeteroPrediction{}, ErrNoConvergence
+}
+
+// HeteroMetrics derives throughput shares from a heterogeneous fixed
+// point.
+type HeteroMetrics struct {
+	// GroupThroughput[i] is group i's normalized throughput (all its
+	// stations combined).
+	GroupThroughput []float64
+	// PerStationThroughput[i] is one group-i station's share.
+	PerStationThroughput []float64
+	// TotalThroughput sums the groups.
+	TotalThroughput float64
+	// MeanSlotDuration is E[σ] in µs.
+	MeanSlotDuration float64
+}
+
+// HeteroMetricsFor evaluates the time-based metrics of a heterogeneous
+// prediction. The per-slot success probability of a group-i station is
+// τ_i(1−γ_i); the slot-duration composition follows the homogeneous
+// construction with the aggregate idle/success probabilities.
+func HeteroMetricsFor(pred HeteroPrediction, groups []Group, tm Timing) HeteroMetrics {
+	pIdle := 1.0
+	for j, g := range groups {
+		pIdle *= math.Pow(1-pred.Tau[j], float64(g.N))
+	}
+	var pSucc float64
+	groupSucc := make([]float64, len(groups))
+	for i, g := range groups {
+		s := float64(g.N) * pred.Tau[i] * (1 - pred.Gamma[i])
+		groupSucc[i] = s
+		pSucc += s
+	}
+	pColl := 1 - pIdle - pSucc
+	if pColl < 0 {
+		pColl = 0
+	}
+	es := pIdle*tm.Slot + pSucc*tm.Ts + pColl*tm.Tc
+
+	m := HeteroMetrics{
+		GroupThroughput:      make([]float64, len(groups)),
+		PerStationThroughput: make([]float64, len(groups)),
+		MeanSlotDuration:     es,
+	}
+	if es <= 0 {
+		return m
+	}
+	for i, g := range groups {
+		m.GroupThroughput[i] = groupSucc[i] * tm.FrameLength / es
+		m.PerStationThroughput[i] = m.GroupThroughput[i] / float64(g.N)
+		m.TotalThroughput += m.GroupThroughput[i]
+	}
+	return m
+}

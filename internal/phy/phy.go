@@ -1,0 +1,241 @@
+// Package phy is the synthetic physical-layer substrate for the
+// emulated HomePlug AV testbed.
+//
+// The paper deliberately excludes PHY mechanisms from its simulator
+// (Section 4.1 lists bit loading, management-message-driven tone-map
+// updates and channel errors as vendor secrets that "prevent us from
+// designing a simulator of the complete MAC stack"). The emulated
+// testbed still needs a PHY: frames must have durations, payloads must
+// be segmented into 512-byte physical blocks (PBs), and the extended
+// experiments exercise error models. This package provides the closest
+// synthetic equivalents:
+//
+//   - a tone-map abstraction mapping a modulation profile to a PHY rate;
+//   - exact PB segmentation (the framing the sniffer sees);
+//   - duration computation from payload size and PHY rate, quantized to
+//     OFDM symbols;
+//   - pluggable PB error models (none / Bernoulli / Gilbert-Elliott)
+//     for the failure-injection experiments. Validation experiments run
+//     with the error-free channel, matching the paper's assumption.
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// PBSize is the physical-block payload size in bytes. IEEE 1901
+// organizes MPDU payloads in 512-byte PBs (PB512).
+const PBSize = 512
+
+// PBHeaderSize is the per-PB overhead (PB header + checksum) in bytes.
+const PBHeaderSize = 8
+
+// SymbolDuration is the OFDM symbol duration in µs (HomePlug AV:
+// 40.96 µs symbol + 5.56 µs guard interval as commonly configured).
+const SymbolDuration = 46.52
+
+// Rate is a PHY bit-loading profile. HomePlug AV negotiates tone maps
+// per link; we expose the standard named profiles plus arbitrary rates.
+type Rate struct {
+	// Name labels the profile ("ROBO", "mini-ROBO", "AV-200", …).
+	Name string
+	// BitsPerSymbol is the useful payload bits carried per OFDM symbol
+	// after FEC, the quantity that determines frame duration.
+	BitsPerSymbol float64
+}
+
+// Standard HomePlug AV profiles. The precise per-symbol payloads of
+// real tone maps are channel-dependent; these values give the canonical
+// data rates (ROBO ≈ 4–10 Mb/s, full tone maps up to ≈ 200 Mb/s raw).
+var (
+	// ROBO is the robust modulation used for broadcast, beacons and
+	// frame-control: heavily coded, decodable even during collisions —
+	// the property that lets the destination acknowledge collided
+	// frames (Section 3.2).
+	ROBO = Rate{Name: "ROBO", BitsPerSymbol: 466}
+	// MiniROBO is the more conservative profile used for short
+	// management payloads.
+	MiniROBO = Rate{Name: "mini-ROBO", BitsPerSymbol: 182}
+	// AV50 approximates a mid-quality in-home link (~50 Mb/s).
+	AV50 = Rate{Name: "AV-50", BitsPerSymbol: 2326}
+	// AV100 approximates a good in-home link (~100 Mb/s).
+	AV100 = Rate{Name: "AV-100", BitsPerSymbol: 4652}
+	// AV200 approximates the ideal power-strip channel of the paper's
+	// testbed (~200 Mb/s raw PHY rate).
+	AV200 = Rate{Name: "AV-200", BitsPerSymbol: 9304}
+)
+
+// Validate rejects non-positive bit loadings.
+func (r Rate) Validate() error {
+	if r.BitsPerSymbol <= 0 || math.IsNaN(r.BitsPerSymbol) || math.IsInf(r.BitsPerSymbol, 0) {
+		return fmt.Errorf("phy: rate %q has invalid bits/symbol %v", r.Name, r.BitsPerSymbol)
+	}
+	return nil
+}
+
+// BitsPerMicrosecond returns the payload rate in bits/µs (= Mb/s).
+func (r Rate) BitsPerMicrosecond() float64 {
+	return r.BitsPerSymbol / SymbolDuration
+}
+
+// PBCount returns how many physical blocks are needed for a payload of
+// the given size in bytes (zero-byte payloads still consume one PB —
+// an MPDU carries at least one block).
+func PBCount(payloadBytes int) int {
+	if payloadBytes <= 0 {
+		return 1
+	}
+	return (payloadBytes + PBSize - 1) / PBSize
+}
+
+// Segment splits a payload into PB-sized chunks; the final block is
+// zero-padded to PBSize by the framing layer, not here (the sniffer
+// reports the padded count, the codec keeps the true bytes).
+func Segment(payload []byte) [][]byte {
+	n := PBCount(len(payload))
+	blocks := make([][]byte, 0, n)
+	for off := 0; off < len(payload); off += PBSize {
+		end := off + PBSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		blocks = append(blocks, payload[off:end])
+	}
+	if len(blocks) == 0 {
+		blocks = append(blocks, []byte{})
+	}
+	return blocks
+}
+
+// FrameDuration returns the on-wire duration in µs of an MPDU payload
+// of pbs physical blocks at the given rate, quantized up to whole OFDM
+// symbols. It panics on an invalid rate — rates are validated at
+// configuration time.
+func FrameDuration(pbs int, rate Rate) float64 {
+	if err := rate.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if pbs < 1 {
+		pbs = 1
+	}
+	bits := float64(pbs) * (PBSize + PBHeaderSize) * 8
+	symbols := math.Ceil(bits / rate.BitsPerSymbol)
+	return symbols * SymbolDuration
+}
+
+// RateForTargetDuration returns the synthetic rate that makes an MPDU
+// of pbs blocks last approximately the target duration — used to
+// calibrate the emulated testbed to the paper's 2050 µs frames.
+func RateForTargetDuration(pbs int, target float64) Rate {
+	if pbs < 1 {
+		pbs = 1
+	}
+	if target <= 0 {
+		panic(fmt.Sprintf("phy: RateForTargetDuration(%d, %v): non-positive target", pbs, target))
+	}
+	bits := float64(pbs) * (PBSize + PBHeaderSize) * 8
+	symbols := math.Max(1, math.Round(target/SymbolDuration))
+	return Rate{
+		Name:          fmt.Sprintf("calibrated-%dpb-%.0fus", pbs, target),
+		BitsPerSymbol: bits / symbols,
+	}
+}
+
+// ErrorModel decides, per physical block, whether transmission corrupts
+// it. The validation experiments use None; the failure-injection
+// experiments use the stochastic models.
+type ErrorModel interface {
+	// Corrupt reports whether the next PB is received in error.
+	Corrupt() bool
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// None is the error-free channel of the paper ("we assume that the
+// channel is error-free").
+type None struct{}
+
+// Corrupt always reports false.
+func (None) Corrupt() bool { return false }
+
+// Name returns "error-free".
+func (None) Name() string { return "error-free" }
+
+// Bernoulli corrupts each PB independently with probability P.
+type Bernoulli struct {
+	P   float64
+	Src *rng.Source
+}
+
+// NewBernoulli builds an independent-loss model.
+func NewBernoulli(p float64, src *rng.Source) *Bernoulli {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("phy: NewBernoulli(%v): probability outside [0,1]", p))
+	}
+	if src == nil {
+		panic("phy: NewBernoulli: nil rng source")
+	}
+	return &Bernoulli{P: p, Src: src}
+}
+
+// Corrupt flips the per-PB coin.
+func (b *Bernoulli) Corrupt() bool { return b.Src.Bernoulli(b.P) }
+
+// Name returns a label including the loss probability.
+func (b *Bernoulli) Name() string { return fmt.Sprintf("bernoulli(%.3g)", b.P) }
+
+// GilbertElliott is the classic two-state burst-error channel: a good
+// state with low loss and a bad state with high loss, with geometric
+// sojourn times. Power-line noise is bursty (appliance impulses), which
+// makes this the natural synthetic stand-in.
+type GilbertElliott struct {
+	// PGood/PBad are the per-PB corruption probabilities in each state.
+	PGood, PBad float64
+	// GoodToBad/BadToGood are the per-PB state transition probabilities.
+	GoodToBad, BadToGood float64
+
+	src *rng.Source
+	bad bool
+}
+
+// NewGilbertElliott validates and builds the burst model.
+func NewGilbertElliott(pGood, pBad, g2b, b2g float64, src *rng.Source) (*GilbertElliott, error) {
+	for _, v := range []struct {
+		name string
+		p    float64
+	}{{"PGood", pGood}, {"PBad", pBad}, {"GoodToBad", g2b}, {"BadToGood", b2g}} {
+		if v.p < 0 || v.p > 1 || math.IsNaN(v.p) {
+			return nil, fmt.Errorf("phy: GilbertElliott %s=%v outside [0,1]", v.name, v.p)
+		}
+	}
+	if src == nil {
+		return nil, fmt.Errorf("phy: GilbertElliott: nil rng source")
+	}
+	return &GilbertElliott{PGood: pGood, PBad: pBad, GoodToBad: g2b, BadToGood: b2g, src: src}, nil
+}
+
+// Corrupt advances the channel state and flips the state's coin.
+func (ge *GilbertElliott) Corrupt() bool {
+	if ge.bad {
+		if ge.src.Bernoulli(ge.BadToGood) {
+			ge.bad = false
+		}
+	} else {
+		if ge.src.Bernoulli(ge.GoodToBad) {
+			ge.bad = true
+		}
+	}
+	if ge.bad {
+		return ge.src.Bernoulli(ge.PBad)
+	}
+	return ge.src.Bernoulli(ge.PGood)
+}
+
+// InBadState exposes the current state for tests.
+func (ge *GilbertElliott) InBadState() bool { return ge.bad }
+
+// Name returns "gilbert-elliott".
+func (ge *GilbertElliott) Name() string { return "gilbert-elliott" }

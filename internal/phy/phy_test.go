@@ -1,0 +1,261 @@
+package phy
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestPBCount(t *testing.T) {
+	tests := []struct{ bytes, want int }{
+		{-1, 1}, {0, 1}, {1, 1}, {511, 1}, {512, 1}, {513, 2},
+		{1024, 2}, {1025, 3}, {4 * 512, 4},
+	}
+	for _, tc := range tests {
+		if got := PBCount(tc.bytes); got != tc.want {
+			t.Errorf("PBCount(%d) = %d, want %d", tc.bytes, got, tc.want)
+		}
+	}
+}
+
+func TestSegment(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xCC}, 1200)
+	blocks := Segment(payload)
+	if len(blocks) != 3 {
+		t.Fatalf("Segment(1200 bytes) = %d blocks, want 3", len(blocks))
+	}
+	if len(blocks[0]) != 512 || len(blocks[1]) != 512 || len(blocks[2]) != 176 {
+		t.Errorf("block sizes %d/%d/%d, want 512/512/176", len(blocks[0]), len(blocks[1]), len(blocks[2]))
+	}
+	var rejoined []byte
+	for _, b := range blocks {
+		rejoined = append(rejoined, b...)
+	}
+	if !bytes.Equal(rejoined, payload) {
+		t.Error("segmentation lost bytes")
+	}
+	if got := Segment(nil); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("Segment(nil) = %v, want one empty block", got)
+	}
+}
+
+func TestRateValidate(t *testing.T) {
+	for _, r := range []Rate{ROBO, MiniROBO, AV50, AV100, AV200} {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+		}
+	}
+	for _, bad := range []Rate{{Name: "zero"}, {Name: "neg", BitsPerSymbol: -1}, {Name: "nan", BitsPerSymbol: math.NaN()}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s accepted", bad.Name)
+		}
+	}
+}
+
+func TestRateOrdering(t *testing.T) {
+	// The profile ladder must be ordered: mini-ROBO < ROBO < AV-50 <
+	// AV-100 < AV-200, and durations must shrink accordingly.
+	ladder := []Rate{MiniROBO, ROBO, AV50, AV100, AV200}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i].BitsPerSymbol <= ladder[i-1].BitsPerSymbol {
+			t.Errorf("%s not faster than %s", ladder[i].Name, ladder[i-1].Name)
+		}
+		if FrameDuration(4, ladder[i]) >= FrameDuration(4, ladder[i-1]) {
+			t.Errorf("duration at %s not below %s", ladder[i].Name, ladder[i-1].Name)
+		}
+	}
+}
+
+func TestFrameDurationQuantization(t *testing.T) {
+	d := FrameDuration(1, AV200)
+	if rem := math.Mod(d, SymbolDuration); math.Abs(rem) > 1e-9 && math.Abs(rem-SymbolDuration) > 1e-9 {
+		t.Errorf("duration %v not a whole number of %v µs symbols", d, SymbolDuration)
+	}
+	if FrameDuration(0, AV200) != FrameDuration(1, AV200) {
+		t.Error("0 PBs should behave as 1 PB")
+	}
+	if FrameDuration(8, AV200) <= FrameDuration(4, AV200) {
+		t.Error("more blocks must take longer")
+	}
+}
+
+func TestFrameDurationPanicsOnInvalidRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid rate accepted")
+		}
+	}()
+	FrameDuration(1, Rate{Name: "bad"})
+}
+
+func TestRateForTargetDuration(t *testing.T) {
+	// Calibrate a 4-PB MPDU to the paper's 2050 µs frame and check the
+	// resulting duration lands within one symbol of the target.
+	r := RateForTargetDuration(4, 2050)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := FrameDuration(4, r)
+	if math.Abs(d-2050) > SymbolDuration {
+		t.Errorf("calibrated duration %v more than one symbol from 2050", d)
+	}
+}
+
+func TestRateForTargetDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive target accepted")
+		}
+	}()
+	RateForTargetDuration(1, 0)
+}
+
+func TestBitsPerMicrosecond(t *testing.T) {
+	// AV200 ≈ 200 Mb/s raw.
+	if rate := AV200.BitsPerMicrosecond(); rate < 150 || rate > 250 {
+		t.Errorf("AV200 = %v Mb/s, want ≈200", rate)
+	}
+}
+
+func TestNoneErrorModel(t *testing.T) {
+	var m None
+	for i := 0; i < 100; i++ {
+		if m.Corrupt() {
+			t.Fatal("error-free channel corrupted a block")
+		}
+	}
+	if m.Name() != "error-free" {
+		t.Errorf("Name() = %q", m.Name())
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	m := NewBernoulli(0.25, rng.New(1))
+	const n = 100000
+	bad := 0
+	for i := 0; i < n; i++ {
+		if m.Corrupt() {
+			bad++
+		}
+	}
+	if got := float64(bad) / n; math.Abs(got-0.25) > 0.01 {
+		t.Errorf("empirical corruption rate %v, want 0.25", got)
+	}
+	if m.Name() == "" {
+		t.Error("empty model name")
+	}
+}
+
+func TestBernoulliValidation(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBernoulli(%v) accepted", p)
+				}
+			}()
+			NewBernoulli(p, rng.New(1))
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewBernoulli(nil rng) accepted")
+			}
+		}()
+		NewBernoulli(0.5, nil)
+	}()
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	if _, err := NewGilbertElliott(0.001, 0.5, 2, 0.1, rng.New(1)); err == nil {
+		t.Error("transition probability > 1 accepted")
+	}
+	if _, err := NewGilbertElliott(0.001, 0.5, 0.01, 0.1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewGilbertElliott(math.NaN(), 0.5, 0.01, 0.1, rng.New(1)); err == nil {
+		t.Error("NaN probability accepted")
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	// With sticky states, errors must cluster: the conditional error
+	// rate after an error must exceed the marginal rate.
+	ge, err := NewGilbertElliott(0.001, 0.5, 0.01, 0.05, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	var errs, pairs, after int
+	prev := false
+	for i := 0; i < n; i++ {
+		c := ge.Corrupt()
+		if c {
+			errs++
+		}
+		if prev {
+			pairs++
+			if c {
+				after++
+			}
+		}
+		prev = c
+	}
+	marginal := float64(errs) / n
+	conditional := float64(after) / float64(pairs)
+	if conditional <= marginal {
+		t.Errorf("no burstiness: P(err|err)=%v ≤ P(err)=%v", conditional, marginal)
+	}
+	if ge.Name() != "gilbert-elliott" {
+		t.Errorf("Name() = %q", ge.Name())
+	}
+}
+
+func TestGilbertElliottStateVisible(t *testing.T) {
+	ge, _ := NewGilbertElliott(0, 1, 1, 0, rng.New(1)) // jump to bad immediately, stay
+	ge.Corrupt()
+	if !ge.InBadState() {
+		t.Error("guaranteed transition to bad state did not happen")
+	}
+}
+
+// Property: segmentation always reassembles and the block count matches
+// PBCount.
+func TestSegmentProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		blocks := Segment(payload)
+		if len(blocks) != PBCount(len(payload)) {
+			return false
+		}
+		var joined []byte
+		for _, b := range blocks {
+			if len(b) > PBSize {
+				return false
+			}
+			joined = append(joined, b...)
+		}
+		if len(payload) == 0 {
+			return len(joined) == 0
+		}
+		return bytes.Equal(joined, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: frame duration is monotone in PB count for any valid rate.
+func TestFrameDurationMonotoneProperty(t *testing.T) {
+	f := func(pbsRaw uint8, rateRaw uint16) bool {
+		pbs := int(pbsRaw)%16 + 1
+		rate := Rate{Name: "q", BitsPerSymbol: float64(rateRaw%5000) + 100}
+		return FrameDuration(pbs+1, rate) >= FrameDuration(pbs, rate)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

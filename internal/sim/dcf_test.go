@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/timing"
+)
+
+func shortDCF(n int) DCFInputs {
+	in := DefaultDCFInputs(n)
+	in.SimTime = 2e7
+	return in
+}
+
+func TestDCFInputsValidate(t *testing.T) {
+	if err := DefaultDCFInputs(2).Validate(); err != nil {
+		t.Fatalf("default DCF inputs invalid: %v", err)
+	}
+	bad := []DCFInputs{
+		func() DCFInputs { i := DefaultDCFInputs(0); return i }(),
+		func() DCFInputs { i := DefaultDCFInputs(2); i.SimTime = -1; return i }(),
+		func() DCFInputs { i := DefaultDCFInputs(2); i.Tc = 0; return i }(),
+		func() DCFInputs { i := DefaultDCFInputs(2); i.DCF.CWmin = 0; return i }(),
+	}
+	for k, in := range bad {
+		if _, err := RunDCF(in); err == nil {
+			t.Errorf("bad DCF input %d accepted", k)
+		}
+	}
+}
+
+func TestDCFSingleStation(t *testing.T) {
+	r, err := RunDCF(shortDCF(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CollidedFrames != 0 {
+		t.Errorf("N=1 DCF collided %d times", r.CollidedFrames)
+	}
+	if r.Successes == 0 {
+		t.Error("N=1 DCF made no progress")
+	}
+}
+
+func TestDCFDeterminism(t *testing.T) {
+	a, _ := RunDCF(shortDCF(3))
+	b, _ := RunDCF(shortDCF(3))
+	if a.Successes != b.Successes || a.CollidedFrames != b.CollidedFrames {
+		t.Error("DCF runs with equal seeds diverged")
+	}
+}
+
+func TestDCFTimeAccounting(t *testing.T) {
+	in := shortDCF(4)
+	r, _ := RunDCF(in)
+	want := float64(r.IdleSlots)*timing.SlotTime + float64(r.Successes)*in.Ts + float64(r.CollisionEvents)*in.Tc
+	if math.Abs(want-r.Elapsed) > 1e-6*want {
+		t.Errorf("elapsed %v ≠ accounted %v", r.Elapsed, want)
+	}
+}
+
+// Test1901BeatsDCFAtFewStations: with N small, 1901's tiny CWmin wastes
+// fewer idle slots than DCF's CWmin 16 → higher throughput. This is the
+// backoff-inefficiency motivation of Section 2.
+func Test1901BeatsDCFAtFewStations(t *testing.T) {
+	e, _ := NewEngine(shortInputs(1))
+	r1901 := e.Run()
+	rdcf, _ := RunDCF(shortDCF(1))
+	if r1901.NormalizedThroughput <= rdcf.NormalizedThroughput {
+		t.Errorf("N=1: 1901 throughput %v not above DCF %v", r1901.NormalizedThroughput, rdcf.NormalizedThroughput)
+	}
+}
+
+// TestDeferralBeatsDCFUnderContention: under contention, 1901's
+// deferral counter raises CW preemptively (before collisions happen),
+// so its collision probability stays below plain DCF's even though its
+// CWmin is half of DCF's — the mechanism the paper's Section 2
+// describes as counterbalancing the small CWmin.
+func TestDeferralBeatsDCFUnderContention(t *testing.T) {
+	e, _ := NewEngine(shortInputs(10))
+	r1901 := e.Run()
+	rdcf, _ := RunDCF(shortDCF(10))
+	if r1901.CollisionProbability >= rdcf.CollisionProbability {
+		t.Errorf("N=10: 1901 collision probability %v not below DCF's %v",
+			r1901.CollisionProbability, rdcf.CollisionProbability)
+	}
+}
+
+func TestDCFCollisionIncreasesWithN(t *testing.T) {
+	prev := -1.0
+	for _, n := range []int{1, 2, 5, 10} {
+		r, err := RunDCF(shortDCF(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.CollisionProbability <= prev && n > 1 {
+			t.Errorf("N=%d: DCF collision probability %v not increasing", n, r.CollisionProbability)
+		}
+		prev = r.CollisionProbability
+	}
+}
+
+func TestDCFBusyConventionMatters(t *testing.T) {
+	slotted := shortDCF(5)
+	frozen := shortDCF(5)
+	frozen.SlottedBusy = false
+	rs, _ := RunDCF(slotted)
+	rf, _ := RunDCF(frozen)
+	// Freezing makes stations spend more real time in backoff; the two
+	// conventions must at least produce different dynamics.
+	if rs.Successes == rf.Successes && rs.CollidedFrames == rf.CollidedFrames {
+		t.Error("busy-period convention had no effect at all")
+	}
+}
+
+func TestDCFResultParamsCarrySentinelDC(t *testing.T) {
+	r, _ := RunDCF(shortDCF(2))
+	p := r.Inputs.Params
+	if err := p.Validate(); err != nil {
+		t.Fatalf("flattened DCF params invalid: %v", err)
+	}
+	for i := range p.CW {
+		if p.DC[i] < p.CW[i]-1 {
+			t.Errorf("stage %d: sentinel DC %d reachable within CW %d", i, p.DC[i], p.CW[i])
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: means, standard deviations, confidence intervals across
+// repeated tests (the paper averages 10 tests per point in Figure 2),
+// and simple histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of repeated measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n−1)
+	Min    float64
+	Max    float64
+	// CI95 is the half-width of the 95% confidence interval of the
+	// mean under the normal approximation (1.96·σ/√n).
+	CI95 float64
+}
+
+// Summarize reduces a sample. It panics on an empty sample: averaging
+// zero tests is a harness bug, not a data condition.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var sq float64
+		for _, x := range xs {
+			d := x - s.Mean
+			sq += d * d
+		}
+		s.StdDev = math.Sqrt(sq / float64(s.N-1))
+		s.CI95 = 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// String renders "mean ± ci95 [min, max] (n)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.6g ± %.2g [%.6g, %.6g] (n=%d)", s.Mean, s.CI95, s.Min, s.Max, s.N)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the sample median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		q = 1
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	pos := q * float64(len(ys)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return ys[lo]
+	}
+	frac := pos - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac
+}
+
+// Histogram buckets values into equal-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	// Under/Over count values outside [Min, Max).
+	Under, Over int
+}
+
+// NewHistogram builds a histogram with the given bounds and bin count.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins < 1 || max <= min {
+		panic(fmt.Sprintf("stats: NewHistogram(%v, %v, %d): invalid shape", min, max, bins))
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Min:
+		h.Under++
+	case x >= h.Max:
+		h.Over++
+	default:
+		i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // x == Max guarded above; float edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of recorded values, including outliers.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Mode returns the midpoint of the fullest bin (0 if empty).
+func (h *Histogram) Mode() float64 {
+	best, bestCount := -1, 0
+	for i, c := range h.Counts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + w*(float64(best)+0.5)
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary %+v", s)
+	}
+	want := math.Sqrt(2.5) // sample variance of 1..5 is 2.5
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("stddev %v, want %v", s.StdDev, want)
+	}
+	wantCI := 1.96 * want / math.Sqrt(5)
+	if math.Abs(s.CI95-wantCI) > 1e-12 {
+		t.Errorf("ci95 %v, want %v", s.CI95, wantCI)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.StdDev != 0 || s.CI95 != 0 {
+		t.Errorf("single-sample summary %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty sample accepted")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	for _, want := range []string{"2", "n=3"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+	if got := Mean([]float64{1, 2, 6}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("odd Median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("even Median = %v", got)
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median sorted the caller's slice")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct{ q, want float64 }{
+		{0, 0}, {1, 10}, {0.5, 5}, {0.25, 2.5}, {-1, 0}, {2, 10},
+	}
+	for _, tc := range tests {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 {
+		t.Errorf("under %d", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("over %d (10 and 42 are ≥ max)", h.Over)
+	}
+	if h.Counts[0] != 2 { // 0, 1.9
+		t.Errorf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin 1 = %d", h.Counts[1])
+	}
+	if h.Counts[2] != 1 { // 5
+		t.Errorf("bin 2 = %d", h.Counts[2])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Errorf("bin 4 = %d", h.Counts[4])
+	}
+	if h.Total() != 8 {
+		t.Errorf("total %d", h.Total())
+	}
+	// Mode: bin 0 has 2 entries → midpoint 1.
+	if got := h.Mode(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("mode %v", got)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, mk := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+		func() { NewHistogram(10, 0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid histogram accepted")
+				}
+			}()
+			mk()
+		}()
+	}
+}
+
+func TestEmptyHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h.Mode() != 0 {
+		t.Errorf("empty mode %v", h.Mode())
+	}
+}
+
+// Property: the summary's bounds and ordering invariants hold.
+func TestSummaryInvariantsProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		if s.Min > s.Mean || s.Mean > s.Max {
+			return false
+		}
+		if s.StdDev < 0 || s.CI95 < 0 {
+			return false
+		}
+		return s.N == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []int16, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a := float64(qa) / 255
+		b := float64(qb) / 255
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram never loses a sample.
+func TestHistogramTotalProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		h := NewHistogram(-50, 50, 7)
+		for _, r := range raw {
+			h.Add(float64(r))
+		}
+		return h.Total() == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

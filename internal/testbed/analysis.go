@@ -1,0 +1,97 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/hpav"
+)
+
+// CaptureAnalysis summarizes a sniffer trace the way Section 3.3 does:
+// bursts are identified by the MPDUCnt countdown (an MPDU with
+// MPDUCnt = 0 closes its burst); management traffic is distinguished
+// from data by the LinkID priority; per-burst source sequences feed the
+// fairness study.
+type CaptureAnalysis struct {
+	// MPDUs is the total number of captured delimiters.
+	MPDUs int
+	// DataBursts and MgmtBursts count completed bursts by kind: data at
+	// the data priority, management at CA2/CA3.
+	DataBursts int
+	MgmtBursts int
+	// BurstSizes histograms the completed bursts by MPDU count
+	// (index 1–4), reproducing the paper's burst-size measurement.
+	BurstSizes [hpav.MaxBurstMPDUs + 1]int
+	// SourceSequence is the per-burst source TEI sequence of the data
+	// traffic, in capture order — the fairness trace of [4].
+	SourceSequence []hpav.TEI
+	// SourceBursts counts data bursts per source.
+	SourceBursts map[hpav.TEI]int
+}
+
+// MMEOverhead returns the management overhead as the paper computes it:
+// "dividing the number of bursts corresponding to MMEs by the number of
+// bursts corresponding to data frames" — bursts, not MPDUs, because
+// bursts are what consume CSMA/CA time.
+func (a *CaptureAnalysis) MMEOverhead() float64 {
+	if a.DataBursts == 0 {
+		return 0
+	}
+	return float64(a.MgmtBursts) / float64(a.DataBursts)
+}
+
+// AnalyzeCaptures reduces a sniffer trace. dataPriority identifies the
+// data class (CA1 in every experiment of the paper); everything at
+// CA2/CA3 counts as management.
+func AnalyzeCaptures(caps []hpav.SnifferInd, dataPriority config.Priority) (*CaptureAnalysis, error) {
+	a := &CaptureAnalysis{SourceBursts: make(map[hpav.TEI]int)}
+
+	type openBurst struct {
+		size int
+		sof  hpav.SoF
+	}
+	open := make(map[hpav.TEI]*openBurst)
+
+	for i := range caps {
+		sof := caps[i].SoF
+		a.MPDUs++
+		b := open[sof.STEI]
+		if b == nil {
+			b = &openBurst{}
+			open[sof.STEI] = b
+		}
+		b.size++
+		b.sof = sof
+		if !sof.LastInBurst() {
+			continue
+		}
+		// Burst completed.
+		if b.size > hpav.MaxBurstMPDUs {
+			return nil, fmt.Errorf("testbed: source %d burst of %d MPDUs exceeds the standard's limit", sof.STEI, b.size)
+		}
+		a.BurstSizes[b.size]++
+		switch {
+		case sof.LinkID == dataPriority:
+			a.DataBursts++
+			a.SourceSequence = append(a.SourceSequence, sof.STEI)
+			a.SourceBursts[sof.STEI]++
+		case sof.LinkID == config.CA2 || sof.LinkID == config.CA3:
+			a.MgmtBursts++
+		}
+		delete(open, sof.STEI)
+	}
+	return a, nil
+}
+
+// DominantBurstSize returns the most frequent completed burst size —
+// the paper's observation "the stations in the isolated experiments use
+// bursts with 2 MPDUs".
+func (a *CaptureAnalysis) DominantBurstSize() int {
+	best, bestCount := 0, -1
+	for size := 1; size <= hpav.MaxBurstMPDUs; size++ {
+		if a.BurstSizes[size] > bestCount {
+			best, bestCount = size, a.BurstSizes[size]
+		}
+	}
+	return best
+}

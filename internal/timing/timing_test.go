@@ -1,0 +1,144 @@
+package timing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlotTimeMatchesStandard(t *testing.T) {
+	if SlotTime != 35.84 {
+		t.Fatalf("SlotTime = %v, want 35.84 (IEEE 1901 contention slot)", SlotTime)
+	}
+	if PriorityResolutionSlot != SlotTime {
+		t.Fatalf("PRS slot = %v, want equal to contention slot", PriorityResolutionSlot)
+	}
+}
+
+func TestPaperDurations(t *testing.T) {
+	// The constants must reproduce the paper's example invocation:
+	// sim_1901(2, 5e8, 2920.64, 2542.64, 2050, …).
+	if DefaultCollisionDuration != 2920.64 {
+		t.Errorf("Tc = %v, want 2920.64", DefaultCollisionDuration)
+	}
+	if DefaultSuccessDuration != 2542.64 {
+		t.Errorf("Ts = %v, want 2542.64", DefaultSuccessDuration)
+	}
+	if DefaultFrameDuration != 2050 {
+		t.Errorf("frame_length = %v, want 2050", DefaultFrameDuration)
+	}
+}
+
+func TestDefaultOverheadsReproduceTs(t *testing.T) {
+	o := DefaultOverheads()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("DefaultOverheads invalid: %v", err)
+	}
+	ts := o.SuccessDuration(DefaultFrameDuration)
+	if math.Abs(ts-DefaultSuccessDuration) > 1e-9 {
+		t.Errorf("SuccessDuration(2050) = %v, want %v", ts, DefaultSuccessDuration)
+	}
+}
+
+func TestOverheadsCollisionLongerThanSuccess(t *testing.T) {
+	o := DefaultOverheads()
+	ts := o.SuccessDuration(DefaultFrameDuration)
+	tc := o.CollisionDuration(DefaultFrameDuration)
+	if tc <= ts {
+		t.Errorf("collision duration %v not longer than success %v (EIFS must dominate RIFS+ACK)", tc, ts)
+	}
+}
+
+func TestOverheadsValidateRejectsNegative(t *testing.T) {
+	o := DefaultOverheads()
+	o.RIFS = -1
+	if err := o.Validate(); err == nil {
+		t.Error("Validate accepted negative RIFS")
+	}
+	o = DefaultOverheads()
+	o.CIFS = math.NaN()
+	if err := o.Validate(); err == nil {
+		t.Error("Validate accepted NaN CIFS")
+	}
+	o = DefaultOverheads()
+	o.EIFS = math.Inf(1)
+	if err := o.Validate(); err == nil {
+		t.Error("Validate accepted +Inf EIFS")
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	c.Advance(SlotTime)
+	c.Advance(DefaultSuccessDuration)
+	want := SlotTime + DefaultSuccessDuration
+	if got := c.Now(); got != want {
+		t.Errorf("Now() = %v, want %v", got, want)
+	}
+	c.AdvanceTo(1e6)
+	if c.Now() != 1e6 {
+		t.Errorf("AdvanceTo(1e6): Now() = %v", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Errorf("Reset: Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestClockAdvancePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockAdvanceToPanicsOnPast(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	defer func() {
+		if recover() == nil {
+			t.Error("AdvanceTo(past) did not panic")
+		}
+	}()
+	c.AdvanceTo(50)
+}
+
+func TestClockAdvancePanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance(NaN) did not panic")
+		}
+	}()
+	NewClock().Advance(math.NaN())
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	if got := Seconds(FromSeconds(240)); got != 240 {
+		t.Errorf("Seconds(FromSeconds(240)) = %v", got)
+	}
+	if got := FromSeconds(1); got != 1e6 {
+		t.Errorf("FromSeconds(1) = %v, want 1e6", got)
+	}
+}
+
+func TestSlots(t *testing.T) {
+	tests := []struct {
+		d    Microseconds
+		want int
+	}{
+		{0, 0},
+		{-10, 0},
+		{SlotTime, 1},
+		{SlotTime * 2.5, 2},
+		{DefaultSuccessDuration, 70}, // 2542.64 / 35.84 = 70.94…
+	}
+	for _, tc := range tests {
+		if got := Slots(tc.d); got != tc.want {
+			t.Errorf("Slots(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"repro/internal/backoff"
+	"repro/internal/mac"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// SimRecorder adapts a Log to the minimal simulator's observer
+// interface. Durations are reconstructed from the scenario's timing
+// constants (the observer fires before the event, so the engine's own
+// accounting is not yet available).
+type SimRecorder struct {
+	Log *Log
+	// Ts and Tc are the scenario's busy-period durations, used to stamp
+	// record durations.
+	Ts, Tc float64
+}
+
+// NewSimRecorder builds a recorder for the given inputs.
+func NewSimRecorder(in sim.Inputs) *SimRecorder {
+	return &SimRecorder{Log: &Log{}, Ts: in.Ts, Tc: in.Tc}
+}
+
+// OnSlot implements sim.Observer.
+func (r *SimRecorder) OnSlot(t float64, kind sim.SlotKind, txs []int, _ []backoff.Snapshot) {
+	rec := Record{Time: t}
+	switch kind {
+	case sim.Idle:
+		rec.Kind = KindIdle
+		rec.Duration = timing.SlotTime
+	case sim.Success:
+		rec.Kind = KindSuccess
+		rec.Duration = r.Ts
+	case sim.Collision:
+		rec.Kind = KindCollision
+		rec.Duration = r.Tc
+	}
+	rec.Transmitters = make([]uint16, len(txs))
+	for i, tx := range txs {
+		rec.Transmitters[i] = uint16(tx)
+	}
+	r.Log.MustAppend(rec)
+}
+
+// MACRecorder adapts a Log to the event-driven MAC's observer
+// interface.
+type MACRecorder struct {
+	Log *Log
+}
+
+// NewMACRecorder builds an empty recorder.
+func NewMACRecorder() *MACRecorder { return &MACRecorder{Log: &Log{}} }
+
+// OnEvent implements mac.Observer.
+func (r *MACRecorder) OnEvent(ev mac.Event) {
+	rec := Record{Time: ev.Time, Duration: ev.Duration, Class: uint8(ev.Class)}
+	switch ev.Kind {
+	case mac.EventIdle:
+		rec.Kind = KindIdle
+	case mac.EventSuccess:
+		rec.Kind = KindSuccess
+	case mac.EventCollision:
+		rec.Kind = KindCollision
+	case mac.EventQuiet:
+		rec.Kind = KindQuiet
+	case mac.EventBeacon:
+		rec.Kind = KindBeacon
+	}
+	rec.Transmitters = make([]uint16, len(ev.Transmitters))
+	for i, tei := range ev.Transmitters {
+		rec.Transmitters[i] = uint16(tei)
+	}
+	r.Log.MustAppend(rec)
+}

@@ -1,0 +1,257 @@
+// Package trace records medium-event logs from either simulator and
+// serializes them to a compact binary format, so that long experiments
+// can be captured once and re-analyzed offline (fairness windows, delay
+// distributions, airtime accounting) — the workflow the paper uses with
+// its testbed captures ("It can be modified to return the traces of
+// successfully transmitted packets to study other metrics such as
+// fairness").
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Kind classifies a recorded medium event.
+type Kind uint8
+
+// Event kinds. The values are part of the serialized format; append
+// only.
+const (
+	// KindIdle is an empty contention slot.
+	KindIdle Kind = iota
+	// KindSuccess is a successful transmission (one transmitter).
+	KindSuccess
+	// KindCollision is an overlap of two or more transmitters.
+	KindCollision
+	// KindQuiet is a traffic-less fast-forward period.
+	KindQuiet
+	// KindBeacon is a central-coordinator beacon busy period.
+	KindBeacon
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindIdle:
+		return "idle"
+	case KindSuccess:
+		return "success"
+	case KindCollision:
+		return "collision"
+	case KindQuiet:
+		return "quiet"
+	case KindBeacon:
+		return "beacon"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one medium event.
+type Record struct {
+	// Time is the event's start in simulated µs.
+	Time float64
+	// Duration of the event in µs.
+	Duration float64
+	// Kind of event.
+	Kind Kind
+	// Class is the contending priority class (0-3), 0 when absent.
+	Class uint8
+	// Transmitters are the transmitting stations' identifiers.
+	Transmitters []uint16
+}
+
+// Log is an in-memory event log.
+type Log struct {
+	records []Record
+}
+
+// Append adds one record. Records must be appended in time order; out
+// of order appends are rejected because every consumer assumes
+// monotonic time.
+func (l *Log) Append(r Record) error {
+	if n := len(l.records); n > 0 && r.Time < l.records[n-1].Time {
+		return fmt.Errorf("trace: record at %v before previous %v", r.Time, l.records[n-1].Time)
+	}
+	if math.IsNaN(r.Time) || math.IsNaN(r.Duration) || r.Duration < 0 {
+		return fmt.Errorf("trace: invalid record time=%v duration=%v", r.Time, r.Duration)
+	}
+	l.records = append(l.records, r)
+	return nil
+}
+
+// MustAppend is Append for recorders that cannot propagate errors
+// (observer callbacks); it panics on misuse.
+func (l *Log) MustAppend(r Record) {
+	if err := l.Append(r); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int { return len(l.records) }
+
+// Records returns the backing slice (read-only by convention).
+func (l *Log) Records() []Record { return l.records }
+
+// Winners extracts the success-winner sequence, the input to the
+// fairness analytics.
+func (l *Log) Winners() []int {
+	var out []int
+	for _, r := range l.records {
+		if r.Kind == KindSuccess && len(r.Transmitters) == 1 {
+			out = append(out, int(r.Transmitters[0]))
+		}
+	}
+	return out
+}
+
+// Summary aggregates the log.
+type Summary struct {
+	// Counts per kind.
+	Counts map[Kind]int
+	// Airtime per kind in µs.
+	Airtime map[Kind]float64
+	// Span is last event end − first event start.
+	Span float64
+}
+
+// Summarize reduces the log.
+func (l *Log) Summarize() Summary {
+	s := Summary{Counts: make(map[Kind]int), Airtime: make(map[Kind]float64)}
+	if len(l.records) == 0 {
+		return s
+	}
+	for _, r := range l.records {
+		s.Counts[r.Kind]++
+		s.Airtime[r.Kind] += r.Duration
+	}
+	first := l.records[0]
+	last := l.records[len(l.records)-1]
+	s.Span = last.Time + last.Duration - first.Time
+	return s
+}
+
+// Filter returns a new log with only the records matching keep.
+func (l *Log) Filter(keep func(Record) bool) *Log {
+	out := &Log{}
+	for _, r := range l.records {
+		if keep(r) {
+			out.records = append(out.records, r)
+		}
+	}
+	return out
+}
+
+// Serialization format:
+//
+//	magic "PLCT" | version u8 | count u64 |
+//	per record: time f64 | duration f64 | kind u8 | class u8 |
+//	            ntx u16 | tx u16 × ntx
+//
+// all little-endian.
+var magic = [4]byte{'P', 'L', 'C', 'T'}
+
+const formatVersion = 1
+
+// ErrFormat reports a malformed trace stream.
+var ErrFormat = errors.New("trace: malformed stream")
+
+// WriteTo serializes the log.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	put := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	if err := put(magic); err != nil {
+		return written, err
+	}
+	if err := put(uint8(formatVersion)); err != nil {
+		return written, err
+	}
+	if err := put(uint64(len(l.records))); err != nil {
+		return written, err
+	}
+	for _, r := range l.records {
+		if len(r.Transmitters) > math.MaxUint16 {
+			return written, fmt.Errorf("trace: %d transmitters exceed format limit", len(r.Transmitters))
+		}
+		if err := put(r.Time); err != nil {
+			return written, err
+		}
+		if err := put(r.Duration); err != nil {
+			return written, err
+		}
+		if err := put(uint8(r.Kind)); err != nil {
+			return written, err
+		}
+		if err := put(r.Class); err != nil {
+			return written, err
+		}
+		if err := put(uint16(len(r.Transmitters))); err != nil {
+			return written, err
+		}
+		for _, tx := range r.Transmitters {
+			if err := put(tx); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// Read deserializes a log written by WriteTo.
+func Read(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, m)
+	}
+	var version uint8
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, version)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	l := &Log{}
+	for i := uint64(0); i < count; i++ {
+		var rec Record
+		var kind, class uint8
+		var ntx uint16
+		for _, v := range []any{&rec.Time, &rec.Duration, &kind, &class, &ntx} {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return nil, fmt.Errorf("%w: record %d: %v", ErrFormat, i, err)
+			}
+		}
+		rec.Kind = Kind(kind)
+		rec.Class = class
+		if ntx > 0 {
+			rec.Transmitters = make([]uint16, ntx)
+			if err := binary.Read(br, binary.LittleEndian, rec.Transmitters); err != nil {
+				return nil, fmt.Errorf("%w: record %d transmitters: %v", ErrFormat, i, err)
+			}
+		}
+		if err := l.Append(rec); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+	}
+	return l, nil
+}

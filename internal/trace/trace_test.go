@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+func sample() *Log {
+	l := &Log{}
+	l.MustAppend(Record{Time: 0, Duration: 35.84, Kind: KindIdle})
+	l.MustAppend(Record{Time: 35.84, Duration: 2542.64, Kind: KindSuccess, Class: 1, Transmitters: []uint16{3}})
+	l.MustAppend(Record{Time: 2578.48, Duration: 2920.64, Kind: KindCollision, Class: 1, Transmitters: []uint16{2, 4}})
+	l.MustAppend(Record{Time: 5499.12, Duration: 210.48, Kind: KindBeacon})
+	return l
+}
+
+func TestAppendOrdering(t *testing.T) {
+	l := &Log{}
+	if err := l.Append(Record{Time: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Time: 5}); err == nil {
+		t.Error("out-of-order append accepted")
+	}
+	if err := l.Append(Record{Time: 20, Duration: -1}); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if err := l.Append(Record{Time: math.NaN()}); err == nil {
+		t.Error("NaN time accepted")
+	}
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	l := &Log{}
+	l.MustAppend(Record{Time: 10})
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend out of order did not panic")
+		}
+	}()
+	l.MustAppend(Record{Time: 1})
+}
+
+func TestWinners(t *testing.T) {
+	w := sample().Winners()
+	if len(w) != 1 || w[0] != 3 {
+		t.Errorf("Winners() = %v, want [3]", w)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := sample().Summarize()
+	if s.Counts[KindIdle] != 1 || s.Counts[KindSuccess] != 1 ||
+		s.Counts[KindCollision] != 1 || s.Counts[KindBeacon] != 1 {
+		t.Errorf("counts %v", s.Counts)
+	}
+	if s.Airtime[KindSuccess] != 2542.64 {
+		t.Errorf("success airtime %v", s.Airtime[KindSuccess])
+	}
+	wantSpan := 5499.12 + 210.48
+	if math.Abs(s.Span-wantSpan) > 1e-9 {
+		t.Errorf("span %v, want %v", s.Span, wantSpan)
+	}
+	empty := (&Log{}).Summarize()
+	if empty.Span != 0 || len(empty.Counts) != 0 {
+		t.Error("empty summary not empty")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	busy := sample().Filter(func(r Record) bool { return r.Kind != KindIdle })
+	if busy.Len() != 3 {
+		t.Errorf("filtered length %d", busy.Len())
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	l := sample()
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != l.Len() {
+		t.Fatalf("round trip %d records, want %d", got.Len(), l.Len())
+	}
+	for i, r := range got.Records() {
+		want := l.Records()[i]
+		if r.Time != want.Time || r.Duration != want.Duration ||
+			r.Kind != want.Kind || r.Class != want.Class ||
+			len(r.Transmitters) != len(want.Transmitters) {
+			t.Errorf("record %d: %+v vs %+v", i, r, want)
+		}
+		for j := range r.Transmitters {
+			if r.Transmitters[j] != want.Transmitters[j] {
+				t.Errorf("record %d tx %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"bad version": append([]byte("PLCT\x09"), make([]byte, 8)...),
+		"truncated":   {'P', 'L', 'C', 'T', 1, 5, 0, 0, 0, 0, 0, 0, 0}, // claims 5 records, has none
+	}
+	for name, b := range cases {
+		if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: err = %v, want ErrFormat", name, err)
+		}
+	}
+}
+
+func TestSimRecorderEndToEnd(t *testing.T) {
+	in := sim.DefaultInputs(3)
+	in.SimTime = 2e6
+	rec := NewSimRecorder(in)
+	e, err := sim.NewEngine(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetObserver(rec)
+	r := e.Run()
+	sum := rec.Log.Summarize()
+	if int64(sum.Counts[KindSuccess]) != r.Successes {
+		t.Errorf("trace successes %d ≠ result %d", sum.Counts[KindSuccess], r.Successes)
+	}
+	if int64(sum.Counts[KindCollision]) != r.CollisionEvents {
+		t.Errorf("trace collisions %d ≠ result %d", sum.Counts[KindCollision], r.CollisionEvents)
+	}
+	if int64(sum.Counts[KindIdle]) != r.IdleSlots {
+		t.Errorf("trace idles %d ≠ result %d", sum.Counts[KindIdle], r.IdleSlots)
+	}
+	// Airtime accounting must match the engine's elapsed time.
+	var total float64
+	for _, v := range sum.Airtime {
+		total += v
+	}
+	if math.Abs(total-r.Elapsed) > 1e-6*r.Elapsed {
+		t.Errorf("trace airtime %v ≠ elapsed %v", total, r.Elapsed)
+	}
+	// Winner trace length equals success count.
+	if len(rec.Log.Winners()) != int(r.Successes) {
+		t.Error("winner trace length mismatch")
+	}
+}
+
+func TestMACRecorderEndToEnd(t *testing.T) {
+	tb, err := testbed.New(testbed.Options{N: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewMACRecorder()
+	tb.Network.Observe(rec)
+	tb.Network.EnableBeacons(33_330)
+	tb.Run(2e6)
+	sum := rec.Log.Summarize()
+	st := tb.Network.Stats()
+	if int64(sum.Counts[KindSuccess]) != st.Successes {
+		t.Errorf("trace successes %d ≠ stats %d", sum.Counts[KindSuccess], st.Successes)
+	}
+	if int64(sum.Counts[KindBeacon]) != st.Beacons {
+		t.Errorf("trace beacons %d ≠ stats %d", sum.Counts[KindBeacon], st.Beacons)
+	}
+	// Round-trip the MAC trace through serialization.
+	var buf bytes.Buffer
+	if _, err := rec.Log.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rec.Log.Len() {
+		t.Error("MAC trace round trip lost records")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindIdle: "idle", KindSuccess: "success", KindCollision: "collision",
+		KindQuiet: "quiet", KindBeacon: "beacon",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+// Property: serialization round-trips arbitrary well-formed logs.
+func TestSerializationProperty(t *testing.T) {
+	f := func(durations []uint16, kinds []uint8) bool {
+		l := &Log{}
+		time := 0.0
+		for i := range durations {
+			k := KindIdle
+			if i < len(kinds) {
+				k = Kind(kinds[i] % 5)
+			}
+			r := Record{Time: time, Duration: float64(durations[i]), Kind: k}
+			if k == KindSuccess {
+				r.Transmitters = []uint16{uint16(i)}
+			}
+			if err := l.Append(r); err != nil {
+				return false
+			}
+			time += float64(durations[i])
+		}
+		var buf bytes.Buffer
+		if _, err := l.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Len() == l.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
