@@ -66,6 +66,7 @@ func BenchmarkFigure2CollisionProbability(b *testing.B) {
 		Ns: []int{2, 5, 7}, Tests: 2,
 		TestDurationMicros: 3e6, SimTimeMicros: 6e6, Seed: 1,
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, _, err := experiments.Figure2(cfg)
 		if err != nil {
@@ -79,6 +80,7 @@ func BenchmarkFigure2CollisionProbability(b *testing.B) {
 
 // BenchmarkThroughputVsN regenerates the E1 protocol comparison.
 func BenchmarkThroughputVsN(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.ThroughputVsN([]int{1, 5, 10}, 4e6, 1); err != nil {
 			b.Fatal(err)
@@ -109,6 +111,7 @@ func BenchmarkSnifferOverhead(b *testing.B) {
 // BenchmarkShortTermFairness regenerates the E4 sliding-window
 // comparison of 1901 and 802.11.
 func BenchmarkShortTermFairness(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.ShortTermFairness(2, []int{10, 100}, 8e6, 1); err != nil {
 			b.Fatal(err)
@@ -137,6 +140,7 @@ func BenchmarkAblationBurstSize(b *testing.B) {
 // BenchmarkSimulatorAgreement regenerates the cross-implementation
 // agreement check.
 func BenchmarkSimulatorAgreement(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.SimulatorAgreement([]int{3}, 4e6, 1); err != nil {
 			b.Fatal(err)
@@ -210,6 +214,69 @@ func BenchmarkMACNetwork(b *testing.B) {
 		}
 		tb.Run(1e6)
 	}
+}
+
+// BenchmarkMACNetworkSteadyState measures the medium loop alone: the
+// testbed is built once and only Run is timed, so allocs/op exposes the
+// per-event allocation count of the hot loop (0 after the scratch-buffer
+// rework).
+func BenchmarkMACNetworkSteadyState(b *testing.B) {
+	tb, err := testbed.New(testbed.Options{N: 7, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.Run(1e6) // warm the scratch buffers and counter buckets
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Run(1e6)
+	}
+}
+
+// noopSlotObserver forces sim.Engine onto its slot-by-slot path (any
+// observer disables the idle fast-forward) without doing any work, so
+// the two arms of BenchmarkEngineIdleFastForward compare the batched
+// loop against the traced per-slot loop on identical inputs.
+type noopSlotObserver struct{}
+
+func (noopSlotObserver) OnSlot(float64, sim.SlotKind, []int, []backoff.Snapshot) {}
+
+// BenchmarkEngineIdleFastForward measures the idle-slot fast-forward in
+// its target regime — idle-dominated contention (small N, large CW,
+// where most medium events are empty 35.84 µs slots) — and reports
+// simulated µs per wall-clock ns. The slot-by-slot arms run the same
+// inputs through the per-slot fallback for comparison; both arms are
+// bit-identical in output (see internal/sim's equivalence tests). The
+// CA0 arms use the paper's Table 1 schedule at N=2; the wide-CW arms
+// model the large windows the boosting search explores, where idle runs
+// span hundreds of slots and the batch pays off the most.
+func BenchmarkEngineIdleFastForward(b *testing.B) {
+	wide := config.Params{Name: "wide", CW: []int{512, 512, 512, 512}, DC: []int{0, 1, 3, 15}}
+	run := func(b *testing.B, params config.Params, obs sim.Observer) {
+		b.ReportAllocs()
+		var simulated float64
+		for i := 0; i < b.N; i++ {
+			in := sim.DefaultInputs(2)
+			in.Params = params
+			in.SimTime = 1e6
+			in.Seed = uint64(i + 1)
+			e, err := sim.NewEngine(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if obs != nil {
+				e.SetObserver(obs)
+			}
+			r := e.Run()
+			simulated += r.Elapsed
+		}
+		b.ReportMetric(simulated/float64(b.Elapsed().Nanoseconds()), "simulated-µs/ns")
+	}
+	ca0 := config.Default1901(config.CA0)
+	b.Run("ca0/batched", func(b *testing.B) { run(b, ca0, nil) })
+	b.Run("ca0/slot-by-slot", func(b *testing.B) { run(b, ca0, noopSlotObserver{}) })
+	b.Run("wide-cw/batched", func(b *testing.B) { run(b, wide, nil) })
+	b.Run("wide-cw/slot-by-slot", func(b *testing.B) { run(b, wide, noopSlotObserver{}) })
 }
 
 // BenchmarkMMECodec measures the stats-confirm marshal/unmarshal round

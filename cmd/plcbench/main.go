@@ -6,6 +6,13 @@
 //	plcbench -quick          # everything, short durations (~seconds)
 //	plcbench -exp fig2       # one experiment
 //	plcbench -format csv -out results/
+//	plcbench -parallel       # fan sweep points across GOMAXPROCS workers
+//
+// -parallel distributes each experiment's independent sweep points
+// (station counts, loads, candidate configurations, …) across
+// GOMAXPROCS goroutines. Every point owns its random streams and
+// results are collected in input order, so the output is bit-identical
+// to a serial run — only the wall-clock time changes.
 package main
 
 import (
@@ -132,12 +139,16 @@ var all = []struct {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id or 'all': "+ids())
-		quick  = flag.Bool("quick", false, "short durations for smoke runs")
-		format = flag.String("format", "md", "md | csv")
-		out    = flag.String("out", "", "output directory (default stdout)")
+		exp      = flag.String("exp", "all", "experiment id or 'all': "+ids())
+		quick    = flag.Bool("quick", false, "short durations for smoke runs")
+		format   = flag.String("format", "md", "md | csv")
+		out      = flag.String("out", "", "output directory (default stdout)")
+		parallel = flag.Bool("parallel", false, "fan independent sweep points across GOMAXPROCS goroutines (bit-identical output)")
 	)
 	flag.Parse()
+	if *parallel {
+		experiments.SetWorkers(0) // 0 = GOMAXPROCS
+	}
 
 	selected := map[string]bool{}
 	if *exp != "all" {

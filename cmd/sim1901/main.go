@@ -10,16 +10,23 @@
 //	        -frame-length 2050 -cw 8,16,32,64 -dc 0,1,3,15
 //
 // which is also the flag default, so `sim1901 -n 2` suffices.
+//
+// -n also accepts a comma-separated sweep ("-n 1,2,5,10"), printing one
+// result block per station count; -parallel fans the sweep points across
+// GOMAXPROCS goroutines. Each point owns its random streams and results
+// print in input order, so parallel output is bit-identical to serial.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -38,7 +45,7 @@ func parseIntVector(s string) ([]int, error) {
 
 func main() {
 	var (
-		n           = flag.Int("n", 2, "number of saturated stations")
+		nFlag       = flag.String("n", "2", "number of saturated stations, or a comma-separated sweep (e.g. 1,2,5,10)")
 		simTime     = flag.Float64("sim-time", 5e8, "total simulation time in µs")
 		tc          = flag.Float64("tc", 2920.64, "collision duration in µs")
 		ts          = flag.Float64("ts", 2542.64, "successful transmission duration in µs")
@@ -46,10 +53,16 @@ func main() {
 		cwFlag      = flag.String("cw", "8,16,32,64", "contention window per backoff stage")
 		dcFlag      = flag.String("dc", "0,1,3,15", "initial deferral counter per backoff stage")
 		seed        = flag.Uint64("seed", 1, "random seed (equal seeds reproduce runs exactly)")
+		parallel    = flag.Bool("parallel", false, "run sweep points on GOMAXPROCS goroutines (bit-identical output)")
 		verbose     = flag.Bool("v", false, "also print per-station statistics")
 	)
 	flag.Parse()
 
+	ns, err := parseIntVector(*nFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim1901: -n:", err)
+		os.Exit(2)
+	}
 	cw, err := parseIntVector(*cwFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sim1901: -cw:", err)
@@ -61,27 +74,55 @@ func main() {
 		os.Exit(2)
 	}
 
-	in := sim.Inputs{
-		N: *n, SimTime: *simTime, Tc: *tc, Ts: *ts, FrameLength: *frameLength,
-		Params: config.Params{Name: "cli", CW: cw, DC: dc}, Seed: *seed,
+	// Validate every point up front so that bad input fails before any
+	// simulation time is spent.
+	inputs := make([]sim.Inputs, len(ns))
+	for i, n := range ns {
+		inputs[i] = sim.Inputs{
+			N: n, SimTime: *simTime, Tc: *tc, Ts: *ts, FrameLength: *frameLength,
+			Params: config.Params{Name: "cli", CW: cw, DC: dc}, Seed: *seed,
+		}
+		if err := inputs[i].Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "sim1901:", err)
+			os.Exit(2)
+		}
 	}
-	e, err := sim.NewEngine(in)
+
+	workers := 1
+	if *parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results, err := par.Map(workers, inputs, func(_ int, in sim.Inputs) (sim.Result, error) {
+		e, err := sim.NewEngine(in)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return e.Run(), nil
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sim1901:", err)
 		os.Exit(2)
 	}
-	r := e.Run()
-	fmt.Printf("collision_pr     = %.6f\n", r.CollisionProbability)
-	fmt.Printf("norm_throughput  = %.6f\n", r.NormalizedThroughput)
-	if *verbose {
-		fmt.Printf("successes        = %d\n", r.Successes)
-		fmt.Printf("collided_frames  = %d\n", r.CollidedFrames)
-		fmt.Printf("collision_events = %d\n", r.CollisionEvents)
-		fmt.Printf("idle_slots       = %d\n", r.IdleSlots)
-		fmt.Printf("elapsed_us       = %.2f\n", r.Elapsed)
-		for i, s := range r.PerStation {
-			fmt.Printf("station %d: acked=%d collided=%d deferrals=%d redraws=%d\n",
-				i, s.Acked(), s.Collided, s.Deferrals, s.Redraws)
+
+	for i, r := range results {
+		if len(ns) > 1 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("# N = %d\n", ns[i])
+		}
+		fmt.Printf("collision_pr     = %.6f\n", r.CollisionProbability)
+		fmt.Printf("norm_throughput  = %.6f\n", r.NormalizedThroughput)
+		if *verbose {
+			fmt.Printf("successes        = %d\n", r.Successes)
+			fmt.Printf("collided_frames  = %d\n", r.CollidedFrames)
+			fmt.Printf("collision_events = %d\n", r.CollisionEvents)
+			fmt.Printf("idle_slots       = %d\n", r.IdleSlots)
+			fmt.Printf("elapsed_us       = %.2f\n", r.Elapsed)
+			for j, s := range r.PerStation {
+				fmt.Printf("station %d: acked=%d collided=%d deferrals=%d redraws=%d\n",
+					j, s.Acked(), s.Collided, s.Deferrals, s.Redraws)
+			}
 		}
 	}
 }

@@ -153,6 +153,26 @@ func (s *Station) AfterIdle() Action {
 	return s.intent()
 }
 
+// AfterIdleN advances the machine across k consecutive idle slots in
+// O(1): BC decrements by k in one step. Idle slots touch neither the
+// deferral counter nor the random stream, so the result is bit-identical
+// to k successive AfterIdle calls — the property the simulator's
+// idle-slot fast-forward relies on. k must satisfy 1 ≤ k ≤ BC (the k-th
+// batched slot still needs a pending backoff to decrement).
+func (s *Station) AfterIdleN(k int) Action {
+	if s.fresh {
+		panic("backoff: AfterIdleN before Start")
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("backoff: AfterIdleN(%d): batch must cover at least one slot", k))
+	}
+	if k > s.bc {
+		panic(fmt.Sprintf("backoff: AfterIdleN(%d) with BC=%d; the station would transmit before the batch ends", k, s.bc))
+	}
+	s.bc -= k
+	return s.intent()
+}
+
 // AfterBusy advances the machine across one busy period of the medium —
 // a slot in which at least one station transmitted.
 //

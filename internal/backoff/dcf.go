@@ -87,6 +87,23 @@ func (s *DCFStation) AfterIdle() Action {
 	return s.intent()
 }
 
+// AfterIdleN advances across k consecutive idle slots in O(1); like the
+// 1901 machine, DCF idle slots consume no randomness, so the state is
+// bit-identical to k successive AfterIdle calls. 1 ≤ k ≤ BC.
+func (s *DCFStation) AfterIdleN(k int) Action {
+	if s.fresh {
+		panic("backoff: DCF AfterIdleN before Start")
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("backoff: DCF AfterIdleN(%d): batch must cover at least one slot", k))
+	}
+	if k > s.bc {
+		panic(fmt.Sprintf("backoff: DCF AfterIdleN(%d) with BC=%d; the station would transmit before the batch ends", k, s.bc))
+	}
+	s.bc -= k
+	return s.intent()
+}
+
 // AfterBusy advances across one busy period. In 802.11 there is no
 // deferral counter: overhearing stations either freeze (hardware
 // convention) or pay one slot (slotted convention); transmitters double
@@ -126,6 +143,7 @@ func (s *DCFStation) Redraws() int64 { return s.redraws }
 type Process interface {
 	Start() Action
 	AfterIdle() Action
+	AfterIdleN(k int) Action
 	AfterBusy(transmitted, success bool) Action
 	Reset()
 	BC() int

@@ -21,6 +21,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/fairness"
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -170,13 +171,13 @@ func Search(space Space, ns []int) ([]Candidate, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Candidate, 0, len(params))
-	for _, p := range params {
-		c, err := ScoreModel(p, ns)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, c)
+	// Candidates are scored independently and collected in input order,
+	// so the search result is identical for any worker count.
+	out, err := par.MapDefault(params, func(_ int, p config.Params) (Candidate, error) {
+		return ScoreModel(p, ns)
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
 	return out, nil
@@ -255,13 +256,11 @@ func ValidateTop(cands []Candidate, k int, ns []int, simTime float64, seed uint6
 	if k > len(cands) {
 		k = len(cands)
 	}
-	out := make([]Validation, 0, k)
-	for _, c := range cands[:k] {
-		v, err := Validate(c, ns, simTime, seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
+	out, err := par.MapDefault(cands[:k], func(_ int, c Candidate) (Validation, error) {
+		return Validate(c, ns, simTime, seed)
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].SimScore > out[j].SimScore })
 	return out, nil

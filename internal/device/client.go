@@ -18,8 +18,12 @@ type Client struct {
 	conn net.Conn
 	// HostAddr is the client's own source MAC placed in the OSA field.
 	HostAddr hpav.MAC
-	// Timeout bounds each request/confirm exchange.
+	// Timeout bounds each attempt of a request/confirm exchange.
 	Timeout time.Duration
+	// dirty records that an attempt timed out with a request in flight,
+	// so its confirmation may still arrive and must be drained before
+	// the next exchange (confirmations carry no correlation id).
+	dirty bool
 }
 
 // Dial connects a client to a host's UDP address.
@@ -27,6 +31,12 @@ func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("device: dial %s: %w", addr, err)
+	}
+	if uc, ok := conn.(*net.UDPConn); ok {
+		// A sniffer-enabled run floods the socket with VS_SNIFFER.IND
+		// datagrams; a larger receive buffer keeps the flood from
+		// evicting the confirmation the client is actually waiting for.
+		_ = uc.SetReadBuffer(4 << 20)
 	}
 	return &Client{
 		conn:     conn,
@@ -40,18 +50,97 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // roundTrip sends a request frame and returns the first frame of the
 // wanted type (skipping unrelated traffic such as sniffer indications).
+// It retries with the same request; callers whose request is not
+// idempotent use exchange with a distinct probe directly.
 func (c *Client) roundTrip(req *hpav.Frame, want hpav.MMType) (*hpav.Frame, error) {
-	if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
-		return nil, err
-	}
-	if _, err := c.conn.Write(req.Marshal()); err != nil {
-		return nil, fmt.Errorf("device: send %v: %w", req.Type, err)
-	}
+	return c.exchange(req, req, want)
+}
+
+// exchangeAttempts bounds how many times exchange (re-)sends before
+// giving up; each attempt waits up to Client.Timeout.
+const exchangeAttempts = 3
+
+// exchange sends req and awaits the first frame of the wanted type.
+// UDP offers no delivery guarantee — a capture flood can overflow the
+// tool-side socket and drop the confirmation — so instead of failing on
+// a single fixed deadline, exchange retries: when an attempt times out
+// it sends probe and waits again. probe must be an idempotent request
+// eliciting the same confirmation type (for idempotent requests
+// probe == req; Run implements its own retry loop because advancing the
+// clock is not idempotent).
+//
+// Confirmations carry no correlation id, so a retry can leave an
+// orphaned duplicate behind (the original confirmation was queued, not
+// dropped). After any timed-out attempt the socket is marked dirty and
+// drained before the next exchange, so a stale confirmation is never
+// mistaken for a fresh one.
+func (c *Client) exchange(req, probe *hpav.Frame, want hpav.MMType) (*hpav.Frame, error) {
+	return c.exchangeChecked(req, probe, want, nil)
+}
+
+// exchangeChecked is exchange with an acceptance check: a non-nil
+// accept may reject the confirmation, aborting the exchange with its
+// error. Run uses it to validate the emulator clock without
+// duplicating the retry loop.
+func (c *Client) exchangeChecked(req, probe *hpav.Frame, want hpav.MMType, accept func(*hpav.Frame) error) (*hpav.Frame, error) {
 	buf := make([]byte, 64<<10)
+	if c.dirty {
+		c.drain(buf)
+		c.dirty = false
+	}
+	send := req
+	var lastErr error
+	for attempt := 0; attempt < exchangeAttempts; attempt++ {
+		f, timedOut, err := c.attempt(send, want, buf, attempt)
+		if f != nil {
+			if accept != nil {
+				if err := accept(f); err != nil {
+					return nil, err
+				}
+			}
+			return f, nil
+		}
+		if !timedOut {
+			return nil, err
+		}
+		lastErr = err
+		send = probe
+	}
+	return nil, lastErr
+}
+
+// drain discards every datagram already queued on the socket — orphaned
+// confirmations from timed-out exchanges and leftover capture
+// indications — so the next exchange starts from a clean buffer.
+func (c *Client) drain(buf []byte) {
+	for {
+		if err := c.conn.SetReadDeadline(time.Now().Add(time.Millisecond)); err != nil {
+			return
+		}
+		if _, err := c.conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// attempt performs one send + deadline-bounded await for a frame of the
+// wanted type (skipping unrelated traffic such as sniffer indications).
+// timedOut distinguishes a read deadline (retryable) from a hard error.
+func (c *Client) attempt(send *hpav.Frame, want hpav.MMType, buf []byte, attempt int) (f *hpav.Frame, timedOut bool, err error) {
+	if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+		return nil, false, err
+	}
+	if _, err := c.conn.Write(send.Marshal()); err != nil {
+		return nil, false, fmt.Errorf("device: send %v: %w", send.Type, err)
+	}
 	for {
 		n, err := c.conn.Read(buf)
 		if err != nil {
-			return nil, fmt.Errorf("device: await %v: %w", want, err)
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				c.dirty = true // the reply may still arrive; drain later
+				return nil, true, fmt.Errorf("device: await %v (attempt %d/%d): %w", want, attempt+1, exchangeAttempts, err)
+			}
+			return nil, false, fmt.Errorf("device: await %v: %w", want, err)
 		}
 		f, err := hpav.Unmarshal(buf[:n])
 		if err != nil {
@@ -62,7 +151,7 @@ func (c *Client) roundTrip(req *hpav.Frame, want hpav.MMType) (*hpav.Frame, erro
 			p := make([]byte, len(f.Payload))
 			copy(p, f.Payload)
 			f.Payload = p
-			return f, nil
+			return f, false, nil
 		}
 	}
 }
@@ -124,23 +213,49 @@ func (c *Client) Sniffer(target hpav.MAC, control hpav.SnifferControl) (*hpav.Sn
 }
 
 // Run advances the emulated power strip's virtual clock — the stand-in
-// for letting a real test run for the given duration.
+// for letting a real test run for the given duration. Advancing the
+// clock is not idempotent, and either direction of the exchange can
+// lose a datagram (a sniffer capture flood can overflow a socket), so
+// Run brackets the exchange with the expected final clock: it reads the
+// clock first, sends the run request exactly once, and from then on
+// only probes with idempotent status queries. A probe answer at or past
+// start+duration means the run completed and only its confirmation was
+// lost; an answer short of it proves the run request never reached the
+// host (the host serializes exchanges in arrival order), which Run
+// reports as an error — it deliberately never re-sends the run op,
+// because a confirmation that was merely delayed rather than dropped
+// would otherwise let a retry advance the clock twice.
 func (c *Client) Run(durationMicros uint64) (clockMicros uint64, err error) {
-	body := &hpav.EmulatorReq{Op: hpav.EmulatorRun, DurationMicros: durationMicros}
-	req := &hpav.Frame{
+	start, err := c.Clock()
+	if err != nil {
+		return 0, fmt.Errorf("device: run: read clock: %w", err)
+	}
+	want := start + durationMicros
+	run := &hpav.Frame{
 		ODA: hpav.Broadcast, OSA: c.HostAddr,
 		Type: hpav.MMTypeEmulatorReq, OUI: hpav.IntellonOUI,
-		Payload: body.Marshal(),
+		Payload: (&hpav.EmulatorReq{Op: hpav.EmulatorRun, DurationMicros: durationMicros}).Marshal(),
 	}
-	cnf, err := c.roundTrip(req, hpav.MMTypeEmulatorCnf)
-	if err != nil {
+	status := &hpav.Frame{
+		ODA: hpav.Broadcast, OSA: c.HostAddr,
+		Type: hpav.MMTypeEmulatorReq, OUI: hpav.IntellonOUI,
+		Payload: (&hpav.EmulatorReq{Op: hpav.EmulatorStatus}).Marshal(),
+	}
+	var clock uint64
+	if _, err := c.exchangeChecked(run, status, hpav.MMTypeEmulatorCnf, func(cnf *hpav.Frame) error {
+		out, err := hpav.UnmarshalEmulatorCnf(cnf.Payload)
+		if err != nil {
+			return err
+		}
+		if out.ClockMicros < want {
+			return fmt.Errorf("device: run: clock %d short of %d; run request lost", out.ClockMicros, want)
+		}
+		clock = out.ClockMicros
+		return nil
+	}); err != nil {
 		return 0, err
 	}
-	out, err := hpav.UnmarshalEmulatorCnf(cnf.Payload)
-	if err != nil {
-		return 0, err
-	}
-	return out.ClockMicros, nil
+	return clock, nil
 }
 
 // ReadCaptures drains live VS_SNIFFER.IND datagrams until either max

@@ -22,30 +22,40 @@ func AccessDelay(ns []int, durationMicros float64, seed uint64) (*Table, error) 
 		Note:   "Delay = time from a burst reaching the head of its queue to the end of its successful transmission. Model: E[σ]/(τ(1−γ)). The p95/median ratio grows with N — short-term unfairness in time units.",
 		Header: []string{"N", "mean (MAC)", "median", "p95", "mean (model)"},
 	}
-	for _, n := range ns {
+	type point struct {
+		mean, median, p95, model float64
+	}
+	points, err := sweep(ns, func(_ int, n int) (point, error) {
 		tb, err := testbed.New(testbed.Options{
 			N: n, BurstMPDUs: 1, Seed: seed, RecordDelays: true,
 			FrameMicros: 2050,
 		})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		tb.Run(durationMicros)
 		ds := tb.Network.Stats().AccessDelays
 		if len(ds) == 0 {
-			return nil, fmt.Errorf("experiments: no delay samples at N=%d", n)
+			return point{}, fmt.Errorf("experiments: no delay samples at N=%d", n)
 		}
 		sum := stats.Summarize(ds)
 
 		pred, err := model.Solve(n, config.DefaultCA1(), model.Options{})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		met := model.MetricsFor(pred, n, model.DefaultTiming())
-
-		t.AddRow(fmt.Sprint(n),
-			f(sum.Mean), f(stats.Median(ds)), f(stats.Quantile(ds, 0.95)),
-			f(met.MeanAccessDelay))
+		return point{
+			mean: sum.Mean, median: stats.Median(ds),
+			p95: stats.Quantile(ds, 0.95), model: met.MeanAccessDelay,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		p := points[i]
+		t.AddRow(fmt.Sprint(n), f(p.mean), f(p.median), f(p.p95), f(p.model))
 	}
 	return t, nil
 }
@@ -73,9 +83,13 @@ func DelayVsLoad(n int, loads []float64, durationMicros float64, seed uint64) (*
 	satStats := satTb.Network.Stats()
 	satRate := float64(satStats.Successes) / satStats.Elapsed // bursts/µs
 
-	for _, load := range loads {
+	type point struct {
+		served           int64
+		mean, p95, quiet float64
+	}
+	points, err := sweep(loads, func(_ int, load float64) (point, error) {
 		if load <= 0 || load > 1 {
-			return nil, fmt.Errorf("experiments: offered load %v outside (0, 1]", load)
+			return point{}, fmt.Errorf("experiments: offered load %v outside (0, 1]", load)
 		}
 		meanInter := 1 / (satRate * load)
 		tb, err := testbed.New(testbed.Options{
@@ -83,20 +97,26 @@ func DelayVsLoad(n int, loads []float64, durationMicros float64, seed uint64) (*
 			TrafficMeanMicros: meanInter,
 		})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		tb.Run(durationMicros)
 		st := tb.Network.Stats()
 		if len(st.AccessDelays) == 0 {
-			return nil, fmt.Errorf("experiments: no traffic served at load %v", load)
+			return point{}, fmt.Errorf("experiments: no traffic served at load %v", load)
 		}
-		t.AddRow(
-			fmt.Sprintf("%.2f", load),
-			fmt.Sprint(st.Successes),
-			f(stats.Mean(st.AccessDelays)),
-			f(stats.Quantile(st.AccessDelays, 0.95)),
-			f(st.QuietTime/st.Elapsed),
-		)
+		return point{
+			served: st.Successes,
+			mean:   stats.Mean(st.AccessDelays),
+			p95:    stats.Quantile(st.AccessDelays, 0.95),
+			quiet:  st.QuietTime / st.Elapsed,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, load := range loads {
+		p := points[i]
+		t.AddRow(fmt.Sprintf("%.2f", load), fmt.Sprint(p.served), f(p.mean), f(p.p95), f(p.quiet))
 	}
 	return t, nil
 }
@@ -112,19 +132,33 @@ func ModelAccuracy(ns []int, simTime float64, seed uint64) (*Table, error) {
 		Note:   "The model ignores the negative correlation between freshly synchronized backoff draws, overestimating collisions most at N=2; the error shrinks monotonically with N.",
 		Header: []string{"N", "simulator p", "model γ", "error", "model thr − sim thr"},
 	}
-	prevErr := 1.0
-	for _, n := range ns {
+	type point struct {
+		sim  simResult
+		pred float64
+		thr  float64
+	}
+	points, err := sweep(ns, func(_ int, n int) (point, error) {
 		ev, err := simPoint(n, simTime, seed)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		pred, err := model.Solve(n, config.DefaultCA1(), model.Options{})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		met := model.MetricsFor(pred, n, model.DefaultTiming())
-		e := pred.Gamma - ev.collision
-		t.AddRow(fmt.Sprint(n), f(ev.collision), f(pred.Gamma), f(e), f(met.NormalizedThroughput-ev.throughput))
+		return point{sim: ev, pred: pred.Gamma, thr: met.NormalizedThroughput}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The monotonicity check compares consecutive points, so it runs
+	// serially over the in-order results.
+	prevErr := 1.0
+	for i, n := range ns {
+		p := points[i]
+		e := p.pred - p.sim.collision
+		t.AddRow(fmt.Sprint(n), f(p.sim.collision), f(p.pred), f(e), f(p.thr-p.sim.throughput))
 		if n > 1 && e > prevErr+0.005 {
 			return nil, fmt.Errorf("experiments: model error grew with N (%v → %v at N=%d)", prevErr, e, n)
 		}

@@ -23,19 +23,20 @@ func ThroughputVsN(ns []int, simTime float64, seed uint64) (*Table, error) {
 		Note:   "1901's small CWmin wins at low contention; the deferral counter keeps it competitive as N grows. Crossovers are the design tradeoff of Section 2.",
 		Header: []string{"N", "1901 sim", "1901 model", "802.11 sim", "802.11 model"},
 	}
-	for _, n := range ns {
+	type point struct{ sim1901, mod1901, simDCF, modDCF float64 }
+	points, err := sweep(ns, func(_ int, n int) (point, error) {
 		in := sim.DefaultInputs(n)
 		in.SimTime = simTime
 		in.Seed = seed
 		e, err := sim.NewEngine(in)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		r1901 := e.Run()
 
 		_, met1901, err := model.Predict(n, config.DefaultCA1())
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 
 		din := sim.DefaultDCFInputs(n)
@@ -43,18 +44,25 @@ func ThroughputVsN(ns []int, simTime float64, seed uint64) (*Table, error) {
 		din.Seed = seed
 		rdcf, err := sim.RunDCF(din)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 
 		pdcf, err := model.SolveDCF(n, config.Default80211(), model.Options{})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		mdcf := model.MetricsFor(pdcf, n, model.DefaultTiming())
-
-		t.AddRow(fmt.Sprint(n),
-			f(r1901.NormalizedThroughput), f(met1901.NormalizedThroughput),
-			f(rdcf.NormalizedThroughput), f(mdcf.NormalizedThroughput))
+		return point{
+			sim1901: r1901.NormalizedThroughput, mod1901: met1901.NormalizedThroughput,
+			simDCF: rdcf.NormalizedThroughput, modDCF: mdcf.NormalizedThroughput,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		p := points[i]
+		t.AddRow(fmt.Sprint(n), f(p.sim1901), f(p.mod1901), f(p.simDCF), f(p.modDCF))
 	}
 	return t, nil
 }
@@ -150,27 +158,35 @@ func ShortTermFairness(n int, windows []int, simTime float64, seed uint64) (*Tab
 	if n < 2 {
 		return nil, fmt.Errorf("experiments: fairness needs ≥ 2 stations")
 	}
-	// 1901 winner trace.
-	in := sim.DefaultInputs(n)
-	in.SimTime = simTime
-	in.Seed = seed
-	e, err := sim.NewEngine(in)
+	// The two protocol traces are independent simulations: fan them out.
+	traces, err := sweep([]string{"1901", "dcf"}, func(_ int, proto string) ([]int, error) {
+		rec := &winnerTrace{}
+		if proto == "1901" {
+			in := sim.DefaultInputs(n)
+			in.SimTime = simTime
+			in.Seed = seed
+			e, err := sim.NewEngine(in)
+			if err != nil {
+				return nil, err
+			}
+			e.SetObserver(rec)
+			e.Run()
+			return rec.winners, nil
+		}
+		din := sim.DefaultDCFInputs(n)
+		din.SimTime = simTime
+		din.Seed = seed
+		din.Observer = rec
+		if _, err := sim.RunDCF(din); err != nil {
+			return nil, err
+		}
+		return rec.winners, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	rec1901 := &winnerTrace{}
-	e.SetObserver(rec1901)
-	e.Run()
-
-	// 802.11 winner trace.
-	din := sim.DefaultDCFInputs(n)
-	din.SimTime = simTime
-	din.Seed = seed
-	recDCF := &winnerTrace{}
-	din.Observer = recDCF
-	if _, err := sim.RunDCF(din); err != nil {
-		return nil, err
-	}
+	rec1901 := &winnerTrace{winners: traces[0]}
+	recDCF := &winnerTrace{winners: traces[1]}
 
 	universe := make([]int, n)
 	for i := range universe {
@@ -218,7 +234,8 @@ func AblationDeferral(ns []int, simTime float64, seed uint64) (*Table, error) {
 		Note:   "Same CW schedule; dᵢ = ∞ disables the 1901-specific jumps. The deferral counter is what absorbs CWmin = 8 under contention.",
 		Header: []string{"N", "p (with DC)", "p (no DC)", "thr (with DC)", "thr (no DC)"},
 	}
-	for _, n := range ns {
+	type point struct{ pw, tw, pn, tn float64 }
+	points, err := sweep(ns, func(_ int, n int) (point, error) {
 		run := func(p config.Params) (float64, float64, error) {
 			in := sim.DefaultInputs(n)
 			in.SimTime = simTime
@@ -233,13 +250,20 @@ func AblationDeferral(ns []int, simTime float64, seed uint64) (*Table, error) {
 		}
 		pw, tw, err := run(config.DefaultCA1())
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		pn, tn, err := run(noDC)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		t.AddRow(fmt.Sprint(n), f(pw), f(pn), f(tw), f(tn))
+		return point{pw, tw, pn, tn}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		p := points[i]
+		t.AddRow(fmt.Sprint(n), f(p.pw), f(p.pn), f(p.tw), f(p.tn))
 	}
 	return t, nil
 }
@@ -255,14 +279,25 @@ func AblationBurstSize(n int, durationMicros float64, seed uint64) (*Table, erro
 		Note:   "ΣC/ΣA is invariant to the burst size k (both counters scale by k); payload per unit time grows with k.",
 		Header: []string{"burst MPDUs", "ΣC/ΣA", "payload fraction"},
 	}
-	for k := 1; k <= hpav.MaxBurstMPDUs; k++ {
+	bursts := make([]int, hpav.MaxBurstMPDUs)
+	for i := range bursts {
+		bursts[i] = i + 1
+	}
+	type point struct{ p, payload float64 }
+	points, err := sweep(bursts, func(_ int, k int) (point, error) {
 		tb, err := testbed.New(testbed.Options{N: n, BurstMPDUs: k, Seed: seed})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		p := tb.CollisionProbability(durationMicros)
 		st := tb.Network.Stats()
-		t.AddRow(fmt.Sprint(k), f(p), f(st.PayloadMicros/st.Elapsed))
+		return point{p: p, payload: st.PayloadMicros / st.Elapsed}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range bursts {
+		t.AddRow(fmt.Sprint(k), f(points[i].p), f(points[i].payload))
 	}
 	return t, nil
 }
@@ -277,26 +312,32 @@ func SimulatorAgreement(ns []int, simTime float64, seed uint64) (*Table, error) 
 		Note:   "Burst size 1, CA1 only, saturated. The implementations share the backoff engine but nothing else.",
 		Header: []string{"N", "minimal sim", "event-driven MAC", "|Δ|"},
 	}
-	for _, n := range ns {
+	type point struct{ simP, macP float64 }
+	points, err := sweep(ns, func(_ int, n int) (point, error) {
 		in := sim.DefaultInputs(n)
 		in.SimTime = simTime
 		in.Seed = seed
 		e, err := sim.NewEngine(in)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		simP := e.Run().CollisionProbability
 
 		tb, err := testbed.New(testbed.Options{N: n, BurstMPDUs: 1, Seed: seed})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		macP := tb.CollisionProbability(simTime)
-		d := simP - macP
+		return point{simP: simP, macP: tb.CollisionProbability(simTime)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		d := points[i].simP - points[i].macP
 		if d < 0 {
 			d = -d
 		}
-		t.AddRow(fmt.Sprint(n), f(simP), f(macP), f(d))
+		t.AddRow(fmt.Sprint(n), f(points[i].simP), f(points[i].macP), f(d))
 	}
 	return t, nil
 }

@@ -148,19 +148,26 @@ func Table2(cfg Table2Config) (*Table, error) {
 		Note:   "ΣA_i includes collided frames (the destination acknowledges them with an all-blocks-errored indication); the collision probability is ΣC_i/ΣA_i. Emulated testbed, bursts of 2 MPDUs.",
 		Header: []string{"N", "ΣC_i", "ΣA_i", "ΣC_i/ΣA_i"},
 	}
-	for _, n := range cfg.Ns {
+	type point struct{ sumC, sumA uint64 }
+	points, err := sweep(cfg.Ns, func(_ int, n int) (point, error) {
 		tb, err := testbed.New(testbed.Options{N: n, Seed: cfg.Seed + uint64(n)})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		tb.ResetAll()
 		tb.Run(cfg.DurationMicros)
 		_, sumC, sumA := tb.Fetch()
+		return point{sumC, sumA}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range cfg.Ns {
 		ratio := 0.0
-		if sumA > 0 {
-			ratio = float64(sumC) / float64(sumA)
+		if points[i].sumA > 0 {
+			ratio = float64(points[i].sumC) / float64(points[i].sumA)
 		}
-		t.AddRow(fmt.Sprint(n), e(sumC), e(sumA), f(ratio))
+		t.AddRow(fmt.Sprint(n), e(points[i].sumC), e(points[i].sumA), f(ratio))
 	}
 	return t, nil
 }
@@ -210,34 +217,37 @@ func Figure2(cfg Figure2Config) ([]Figure2Point, *Table, error) {
 		Note:   "Measurements are the mean of repeated emulated tests (± 95% CI). The paper reports an excellent fit between the three curves for the CA1 defaults.",
 		Header: []string{"N", "MAC simulation", "Analysis", "HomePlug AV measurements", "± 95% CI"},
 	}
-	var points []Figure2Point
-	for _, n := range cfg.Ns {
+	points, err := sweep(cfg.Ns, func(_ int, n int) (Figure2Point, error) {
 		in := sim.DefaultInputs(n)
 		in.SimTime = cfg.SimTimeMicros
 		in.Seed = cfg.Seed
 		eng, err := sim.NewEngine(in)
 		if err != nil {
-			return nil, nil, err
+			return Figure2Point{}, err
 		}
 		simP := eng.Run().CollisionProbability
 
 		pred, err := model.Solve(n, config.DefaultCA1(), model.Options{})
 		if err != nil {
-			return nil, nil, err
+			return Figure2Point{}, err
 		}
 
 		measured := make([]float64, 0, cfg.Tests)
 		for k := 0; k < cfg.Tests; k++ {
 			tb, err := testbed.New(testbed.Options{N: n, Seed: cfg.Seed + uint64(1000*n+k)})
 			if err != nil {
-				return nil, nil, err
+				return Figure2Point{}, err
 			}
 			measured = append(measured, tb.CollisionProbability(cfg.TestDurationMicros))
 		}
 		sum := stats.Summarize(measured)
-
-		points = append(points, Figure2Point{N: n, Simulation: simP, Analysis: pred.Gamma, Measured: sum})
-		t.AddRow(fmt.Sprint(n), f(simP), f(pred.Gamma), f(sum.Mean), f(sum.CI95))
+		return Figure2Point{N: n, Simulation: simP, Analysis: pred.Gamma, Measured: sum}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range points {
+		t.AddRow(fmt.Sprint(p.N), f(p.Simulation), f(p.Analysis), f(p.Measured.Mean), f(p.Measured.CI95))
 	}
 	return points, t, nil
 }

@@ -137,6 +137,13 @@ type Network struct {
 	beaconPeriod float64
 	nextBeacon   float64
 	recordDelays bool
+
+	// Scratch buffers reused across medium events so that the steady-state
+	// loop is allocation-free (observers get freshly allocated Event
+	// slices; the scratch is only shared with the unobserved fast path).
+	classScratch     []config.Priority
+	contenderScratch []*Station
+	txScratch        []*Station
 }
 
 // NewNetwork builds an empty contention domain with the paper's timing
@@ -277,12 +284,13 @@ func (n *Network) step(end float64) {
 	// signals its class in the two priority-resolution slots; the tone
 	// protocol elects the highest contending class and every lower
 	// class defers (its engines freeze).
-	var classes []config.Priority
+	classes := n.classScratch[:0]
 	for _, s := range n.stations {
 		if pri, ok := s.highestPending(now); ok {
 			classes = append(classes, pri)
 		}
 	}
+	n.classScratch = classes[:0]
 	activeClass, anyPending := ResolvePriority(classes)
 
 	if !anyPending {
@@ -304,8 +312,8 @@ func (n *Network) step(end float64) {
 	}
 
 	// Contenders: stations with pending traffic in the active class.
-	var contenders []*Station
-	var txs []*Station
+	contenders := n.contenderScratch[:0]
+	txs := n.txScratch[:0]
 	for _, s := range n.stations {
 		if !s.pendingAt(activeClass, now) {
 			continue
@@ -315,9 +323,23 @@ func (n *Network) step(end float64) {
 			txs = append(txs, s)
 		}
 	}
+	n.contenderScratch = contenders[:0]
+	n.txScratch = txs[:0]
 
 	switch len(txs) {
 	case 0:
+		if len(n.observers) == 0 {
+			// Idle fast-forward: batch every provably idle slot. With
+			// observers installed the network steps slot by slot so that
+			// traces see every medium event; both paths are bit-identical.
+			k, t := n.idleRun(contenders, activeClass, now, end)
+			n.stats.IdleSlots += int64(k)
+			for _, s := range contenders {
+				s.afterIdleN(activeClass, k)
+			}
+			n.clock = t
+			return
+		}
 		n.stats.IdleSlots++
 		for _, s := range contenders {
 			s.afterIdle(activeClass)
@@ -333,10 +355,73 @@ func (n *Network) step(end float64) {
 	}
 }
 
-// success delivers the winner's burst.
+// idleRun returns how many consecutive idle slots can be batched
+// starting at now, together with the clock value after them. A slot can
+// join the batch only while nothing can change the contention picture:
+// the batch is bounded by the earliest backoff expiry (min BC slots from
+// now a station transmits), the run's end, the next beacon and the next
+// traffic arrival at any station. The clock accumulates one SlotTime
+// addition per slot so the floating-point trajectory stays bit-identical
+// to the slot-by-slot path; backoff counters advance in one AfterIdleN
+// batch, which is what removes the O(contenders) work per idle slot.
+func (n *Network) idleRun(contenders []*Station, pri config.Priority, now, end float64) (int, float64) {
+	m := contenders[0].backoffAt(pri)
+	for _, s := range contenders[1:] {
+		if bc := s.backoffAt(pri); bc < m {
+			m = bc
+		}
+	}
+	k := 1
+	t := now + timing.SlotTime
+	if m == 1 {
+		return k, t
+	}
+	// Earliest instant a currently empty flow could gain traffic; an
+	// arrival can add a contender or raise the resolved priority class,
+	// so the batch must stop before the first slot that would see it.
+	nextArrival := inf
+	for _, s := range n.stations {
+		for _, f := range s.flows {
+			if f.Source.Pending(now) {
+				continue
+			}
+			if a := f.Source.NextArrival(now); a < nextArrival {
+				nextArrival = a
+			}
+		}
+	}
+	for k < m && t < end && t < nextArrival && !(n.beaconPeriod > 0 && n.nextBeacon <= t) {
+		t += timing.SlotTime
+		k++
+	}
+	return k, t
+}
+
+// snifferActive reports whether any station is capturing delimiters.
+func (n *Network) snifferActive() bool {
+	for _, s := range n.stations {
+		if s.SnifferEnabled && s.Sniffer != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// success delivers the winner's burst. The burst's delimiters are only
+// materialized when an observer or sniffer will see them; the counters
+// and timing need just the spec, which keeps the unobserved loop
+// allocation-free.
 func (n *Network) success(w *Station, pri config.Priority, now float64) {
-	burst, spec := w.takeBurst(pri, now)
-	k := len(burst.MPDUs)
+	observed := len(n.observers) > 0
+	needBurst := observed || n.snifferActive()
+	var burst *hpav.Burst
+	var spec BurstSpec
+	if needBurst {
+		burst, spec = w.takeBurst(pri, now)
+	} else {
+		spec = w.takeSpec(pri, now)
+	}
+	k := spec.MPDUs
 
 	// Duration: priority resolution + each MPDU's preamble and payload
 	// + the response interval with one selective ACK + CIFS.
@@ -363,7 +448,9 @@ func (n *Network) success(w *Station, pri config.Priority, now float64) {
 
 	// Sniffer capture: stations in sniffer mode hear every SoF of the
 	// burst (same contention domain).
-	n.capture(burst, now)
+	if needBurst {
+		n.capture(burst, now)
+	}
 
 	// Backoff: winner restarts at stage 0; other contenders absorb one
 	// busy period.
@@ -394,10 +481,12 @@ func (n *Network) success(w *Station, pri config.Priority, now float64) {
 	n.stats.DeliveredPBs += int64(delivered)
 	n.classStats(pri).Successes++
 	n.clock = now + d
-	n.emit(Event{
-		Time: now, Duration: d, Kind: EventSuccess, Class: pri,
-		Transmitters: []hpav.TEI{w.TEI}, Burst: burst, ErroredPBs: errored,
-	})
+	if observed {
+		n.emit(Event{
+			Time: now, Duration: d, Kind: EventSuccess, Class: pri,
+			Transmitters: []hpav.TEI{w.TEI}, Burst: burst, ErroredPBs: errored,
+		})
+	}
 }
 
 // collision wastes the medium for all transmitters. The colliding
@@ -405,13 +494,19 @@ func (n *Network) success(w *Station, pri config.Priority, now float64) {
 // infinite, the station re-contends with the same frame (the paper's
 // simulator makes the same assumption).
 func (n *Network) collision(txs []*Station, pri config.Priority, now float64) {
-	teis := make([]hpav.TEI, 0, len(txs))
+	observed := len(n.observers) > 0
+	var teis []hpav.TEI
+	if observed {
+		teis = make([]hpav.TEI, 0, len(txs))
+	}
 	var maxFrame float64
 	var collidedMPDUs int64
 
 	for _, s := range txs {
 		spec := s.peekSpec(pri, now)
-		teis = append(teis, s.TEI)
+		if observed {
+			teis = append(teis, s.TEI)
+		}
 		if spec.FrameMicros > maxFrame {
 			maxFrame = spec.FrameMicros
 		}
@@ -447,10 +542,12 @@ func (n *Network) collision(txs []*Station, pri config.Priority, now float64) {
 	n.stats.CollidedMPDUs += collidedMPDUs
 	n.classStats(pri).Collisions++
 	n.clock = now + d
-	n.emit(Event{
-		Time: now, Duration: d, Kind: EventCollision, Class: pri,
-		Transmitters: teis,
-	})
+	if observed {
+		n.emit(Event{
+			Time: now, Duration: d, Kind: EventCollision, Class: pri,
+			Transmitters: teis,
+		})
+	}
 }
 
 // capture fans captured SoF delimiters out to sniffer-enabled stations.

@@ -190,6 +190,16 @@ func (s *Station) afterIdle(pri config.Priority) {
 	s.intents[pri] = s.engines[pri].AfterIdle()
 }
 
+// afterIdleN advances class pri across k batched idle slots (the
+// network's idle fast-forward); bit-identical to k afterIdle calls.
+func (s *Station) afterIdleN(pri config.Priority, k int) {
+	s.intents[pri] = s.engines[pri].AfterIdleN(k)
+}
+
+// backoffAt returns the live backoff counter of class pri. It must only
+// be called while the class is contending (engine started).
+func (s *Station) backoffAt(pri config.Priority) int { return s.engines[pri].BC() }
+
 // afterBusy advances class pri across a busy period.
 func (s *Station) afterBusy(pri config.Priority, transmitted, success bool) {
 	s.intents[pri] = s.engines[pri].AfterBusy(transmitted, success)
@@ -202,20 +212,29 @@ func (s *Station) quiesce(pri config.Priority) { s.active[pri] = false }
 // takeBurst consumes one frame from the first pending flow at pri and
 // materializes the burst it describes.
 func (s *Station) takeBurst(pri config.Priority, now float64) (*hpav.Burst, BurstSpec) {
+	spec := s.takeSpec(pri, now)
+	b, err := hpav.NewBurst(spec.MPDUs, s.TEI, spec.Dst, pri,
+		spec.PBsPerMPDU, spec.FrameMicros, s.burstSeq)
+	if err != nil {
+		panic(fmt.Sprintf("mac: takeBurst: %v", err)) // spec validated at AddFlow
+	}
+	return b, spec
+}
+
+// takeSpec consumes one frame from the first pending flow at pri without
+// materializing the burst — the allocation-free success path used when
+// no observer or sniffer needs the delimiters. The burst sequence number
+// still advances so that captures started later see the same numbering.
+func (s *Station) takeSpec(pri config.Priority, now float64) BurstSpec {
 	for _, f := range s.flows {
 		if f.Spec.Priority != pri || !f.Source.Pending(now) {
 			continue
 		}
 		f.Source.Take(now)
 		s.burstSeq++
-		b, err := hpav.NewBurst(f.Spec.MPDUs, s.TEI, f.Spec.Dst, pri,
-			f.Spec.PBsPerMPDU, f.Spec.FrameMicros, s.burstSeq)
-		if err != nil {
-			panic(fmt.Sprintf("mac: takeBurst: %v", err)) // spec validated at AddFlow
-		}
-		return b, f.Spec
+		return f.Spec
 	}
-	panic("mac: takeBurst called with no pending flow")
+	panic("mac: takeSpec called with no pending flow")
 }
 
 // peekSpec returns the burst specification of the first pending flow at

@@ -1,0 +1,95 @@
+// Package par provides the deterministic fan-out primitive behind the
+// experiment sweeps: a fixed-size worker pool that maps a function over
+// a slice and returns the results in input order, regardless of
+// completion order.
+//
+// Determinism is the point. Every sweep point in this repository owns
+// its random streams (per-point seeds, split per station), so running
+// points concurrently cannot perturb their draws; returning results in
+// input order then makes a parallel sweep bit-identical to the serial
+// one. Errors are deterministic too: when several points fail, Map
+// reports the error of the lowest-indexed one.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the process-wide fan-out width used by MapDefault;
+// 1 (serial) until SetDefaultWorkers raises it.
+var defaultWorkers atomic.Int32
+
+func init() { defaultWorkers.Store(1) }
+
+// SetDefaultWorkers sets the process-wide fan-out width used by every
+// sweep that calls MapDefault (the experiments and the boost search).
+// n ≤ 0 selects GOMAXPROCS.
+func SetDefaultWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// DefaultWorkers returns the current process-wide fan-out width.
+func DefaultWorkers() int { return int(defaultWorkers.Load()) }
+
+// MapDefault is Map at the process-wide width.
+func MapDefault[T, R any](items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	return Map(DefaultWorkers(), items, fn)
+}
+
+// Map applies fn to every item on up to workers goroutines and returns
+// the results in input order. fn receives the item's index and value.
+// workers ≤ 1 (or fewer than two items) degenerates to a plain serial
+// loop on the calling goroutine, with fail-fast error behaviour.
+//
+// In parallel mode every item is attempted even when another item has
+// already failed (points are independent; partial failure of a sweep
+// must not depend on scheduling), and the error of the lowest-indexed
+// failing item is returned.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]R, len(items))
+	if workers <= 1 || len(items) == 1 {
+		for i, item := range items {
+			r, err := fn(i, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	errs := make([]error, len(items))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				out[i], errs[i] = fn(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
+		out, err := Map(workers, items, func(i, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapParallelMatchesSerial(t *testing.T) {
+	items := []string{"a", "bb", "ccc", "dddd", "eeeee"}
+	fn := func(i int, s string) (string, error) { return fmt.Sprintf("%d:%s", i, s), nil }
+	serial, err := Map(1, items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(4, items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("index %d: serial %q ≠ parallel %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	_, err := Map(4, items, func(i, v int) (int, error) {
+		switch v {
+		case 5:
+			return 0, errB
+		case 2:
+			return 0, errA
+		}
+		return v, nil
+	})
+	if err != errA {
+		t.Errorf("got %v, want the lowest-indexed error %v", err, errA)
+	}
+}
+
+func TestMapActuallyRunsConcurrently(t *testing.T) {
+	const workers = 4
+	var inFlight, peak atomic.Int32
+	gate := make(chan struct{})
+	_, err := Map(workers, make([]struct{}, 16), func(i int, _ struct{}) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		if cur == workers {
+			select {
+			case <-gate:
+			default:
+				close(gate)
+			}
+		}
+		<-gate // hold until all workers have been observed in flight at once
+		inFlight.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got != workers {
+		t.Errorf("peak concurrency %d, want %d", got, workers)
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if out, err := Map(8, nil, func(i, v int) (int, error) { return v, nil }); err != nil || out != nil {
+		t.Errorf("empty input: %v, %v", out, err)
+	}
+	out, err := Map(8, []int{42}, func(i, v int) (int, error) { return v + 1, nil })
+	if err != nil || len(out) != 1 || out[0] != 43 {
+		t.Errorf("single input: %v, %v", out, err)
+	}
+}

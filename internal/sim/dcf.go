@@ -82,6 +82,7 @@ func RunDCF(in DCFInputs) (Result, error) {
 	}
 
 	txs := make([]int, 0, in.N)
+	txMask := make([]bool, in.N)
 	var t float64
 	for t <= in.SimTime {
 		txs = txs[:0]
@@ -104,11 +105,15 @@ func RunDCF(in DCFInputs) (Result, error) {
 		}
 		switch len(txs) {
 		case 0:
-			res.IdleSlots++
-			for i, s := range stations {
-				intents[i] = s.AfterIdle()
+			if in.Observer != nil {
+				res.IdleSlots++
+				for i, s := range stations {
+					intents[i] = s.AfterIdle()
+				}
+				t += timing.SlotTime
+				break
 			}
-			t += timing.SlotTime
+			fastForwardIdle(stations, intents, &t, in.SimTime, &res.IdleSlots)
 		case 1:
 			w := txs[0]
 			res.Successes++
@@ -121,14 +126,16 @@ func RunDCF(in DCFInputs) (Result, error) {
 		default:
 			res.CollisionEvents++
 			res.CollidedFrames += int64(len(txs))
-			transmitted := make(map[int]bool, len(txs))
 			for _, i := range txs {
-				transmitted[i] = true
+				txMask[i] = true
 				res.PerStation[i].Collided++
 				res.PerStation[i].Attempts++
 			}
 			for i, s := range stations {
-				intents[i] = s.AfterBusy(transmitted[i], false)
+				intents[i] = s.AfterBusy(txMask[i], false)
+			}
+			for _, i := range txs {
+				txMask[i] = false
 			}
 			t += in.Tc
 		}

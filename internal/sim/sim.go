@@ -194,11 +194,19 @@ func (k SlotKind) String() string {
 }
 
 // Engine runs N backoff processes over the shared slotted medium.
+//
+// The medium loop is event-driven over idle time: when every station
+// defers, the next min(BC) slots are provably idle and consume no
+// randomness, so the engine batches them through AfterIdleN instead of
+// stepping slot by slot. With an Observer installed the engine falls
+// back to slot-by-slot stepping (traces must see every slot); both modes
+// produce bit-identical Results.
 type Engine struct {
 	in       Inputs
 	stations []*backoff.Station
 	intents  []backoff.Action
 	txs      []int
+	txMask   []bool // scratch: transmitter membership during a collision
 	snaps    []backoff.Snapshot
 	observer Observer
 }
@@ -214,6 +222,7 @@ func NewEngine(in Inputs) (*Engine, error) {
 		stations: make([]*backoff.Station, in.N),
 		intents:  make([]backoff.Action, in.N),
 		txs:      make([]int, 0, in.N),
+		txMask:   make([]bool, in.N),
 		snaps:    make([]backoff.Snapshot, in.N),
 	}
 	for i := range e.stations {
@@ -265,11 +274,16 @@ func (e *Engine) Run() Result {
 
 		switch kind {
 		case Idle:
-			res.IdleSlots++
-			for i, s := range e.stations {
-				e.intents[i] = s.AfterIdle()
+			if e.observer != nil {
+				// Traces must see every slot: step one at a time.
+				res.IdleSlots++
+				for i, s := range e.stations {
+					e.intents[i] = s.AfterIdle()
+				}
+				t += timing.SlotTime
+				break
 			}
-			t += timing.SlotTime
+			fastForwardIdle(e.stations, e.intents, &t, e.in.SimTime, &res.IdleSlots)
 
 		case Success:
 			w := e.txs[0]
@@ -284,14 +298,16 @@ func (e *Engine) Run() Result {
 		case Collision:
 			res.CollisionEvents++
 			res.CollidedFrames += int64(len(e.txs))
-			transmitted := make(map[int]bool, len(e.txs))
 			for _, i := range e.txs {
-				transmitted[i] = true
+				e.txMask[i] = true
 				res.PerStation[i].Collided++
 				res.PerStation[i].Attempts++
 			}
 			for i, s := range e.stations {
-				e.intents[i] = s.AfterBusy(transmitted[i], false)
+				e.intents[i] = s.AfterBusy(e.txMask[i], false)
+			}
+			for _, i := range e.txs {
+				e.txMask[i] = false
 			}
 			t += e.in.Tc
 		}
@@ -308,6 +324,32 @@ func (e *Engine) Run() Result {
 	}
 	res.NormalizedThroughput = float64(res.Successes) * e.in.FrameLength / t
 	return res
+}
+
+// fastForwardIdle batches the provably idle run that begins at *t: when
+// every station defers, the next min(BC) slots are empty and consume no
+// randomness, so the per-station updates collapse into one AfterIdleN
+// call. The per-slot time accounting is replayed scalar-wise (one
+// SlotTime addition per slot) so the float accumulation — and the
+// SimTime stopping point — stays bit-identical to the slot-by-slot
+// loop. Generic over the backoff engine so the 1901 and DCF medium
+// loops share one provably common implementation.
+func fastForwardIdle[P backoff.Process](stations []P, intents []backoff.Action, t *float64, simTime float64, idleSlots *int64) {
+	m := stations[0].BC()
+	for _, s := range stations[1:] {
+		if bc := s.BC(); bc < m {
+			m = bc
+		}
+	}
+	k := 0
+	for k < m && *t <= simTime {
+		*idleSlots++
+		*t += timing.SlotTime
+		k++
+	}
+	for i, s := range stations {
+		intents[i] = s.AfterIdleN(k)
+	}
 }
 
 // Sim1901 reproduces the published sim_1901 entry point: it builds an
