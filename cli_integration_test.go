@@ -153,3 +153,59 @@ func TestSim1901CLIRejectsBadVectors(t *testing.T) {
 		}
 	}
 }
+
+// TestScenarioCLI exercises the declarative mode end to end through
+// the real binary: validation output, replication statistics with
+// serial output byte-identical to -parallel, and the channel-error
+// twin pair producing measurably less throughput than its error-free
+// twin under the same seeds.
+func TestScenarioCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	path := filepath.Join(bin, "sim1901")
+	if out, err := exec.Command("go", "build", "-o", path, "./cmd/sim1901").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(path, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("sim1901 %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	vout := run("-scenario", "examples/scenarios/heterogeneous.json", "-validate")
+	if !strings.Contains(vout, "ok: scenario heterogeneous: engine sim, N=4") {
+		t.Fatalf("-validate output unexpected:\n%s", vout)
+	}
+
+	serial := run("-scenario", "examples/scenarios/heterogeneous.json", "-reps", "4")
+	parallel := run("-scenario", "examples/scenarios/heterogeneous.json", "-reps", "4", "-parallel")
+	if serial != parallel {
+		t.Fatalf("serial and -parallel scenario output differ:\n%s\n---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "95% CI, n=4") {
+		t.Fatalf("no confidence interval in output:\n%s", serial)
+	}
+
+	noisy := run("-scenario", "examples/scenarios/channel-errors.json", "-reps", "3")
+	clean := run("-scenario", "examples/scenarios/channel-errors-free.json", "-reps", "3")
+	nt := extractFloat(t, noisy, `norm_throughput\s+= ([0-9.]+)`)
+	ct := extractFloat(t, clean, `norm_throughput\s+= ([0-9.]+)`)
+	if nt >= ct*0.9 {
+		t.Errorf("channel-error throughput %v not measurably below error-free %v", nt, ct)
+	}
+	ne := extractFloat(t, noisy, `frame_errors\s+= ([0-9.]+)`)
+	if ne == 0 {
+		t.Errorf("channel-error scenario reported no frame errors:\n%s", noisy)
+	}
+
+	// A bad scenario must fail with a field-level message.
+	cmd := exec.Command(path, "-scenario", filepath.Join(bin, "missing.json"))
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("missing scenario file accepted:\n%s", out)
+	}
+}

@@ -8,6 +8,11 @@
 //	plcbench -format csv -out results/
 //	plcbench -parallel       # fan sweep points across GOMAXPROCS workers
 //
+// Scenario mode renders a declarative scenario's replication statistics
+// as a table instead of a canned experiment:
+//
+//	plcbench -scenario examples/scenarios/poisson-load.json -reps 10
+//
 // -parallel distributes each experiment's independent sweep points
 // (station counts, loads, candidate configurations, …) across
 // GOMAXPROCS goroutines. Every point owns its random streams and
@@ -21,10 +26,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 type runner func(quick bool) (*experiments.Table, error)
@@ -144,10 +151,25 @@ func main() {
 		format   = flag.String("format", "md", "md | csv")
 		out      = flag.String("out", "", "output directory (default stdout)")
 		parallel = flag.Bool("parallel", false, "fan independent sweep points across GOMAXPROCS goroutines (bit-identical output)")
+		scenF    = flag.String("scenario", "", "render a declarative scenario's replication statistics instead of a canned experiment")
+		reps     = flag.Int("reps", 10, "independent-seed replications per scenario point (with -scenario)")
 	)
 	flag.Parse()
 	if *parallel {
 		experiments.SetWorkers(0) // 0 = GOMAXPROCS
+	}
+
+	if *scenF != "" {
+		t, err := scenarioTable(*scenF, *reps, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plcbench:", err)
+			os.Exit(1)
+		}
+		if err := render(t, *format, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "plcbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	selected := map[string]bool{}
@@ -177,6 +199,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "plcbench: no experiment matches -exp %s (known: %s)\n", *exp, ids())
 		os.Exit(2)
 	}
+}
+
+// scenarioTable runs a declarative scenario's replications and renders
+// the per-metric summaries as one table (rows ordered point-major, so
+// output is bit-identical between serial and -parallel runs).
+func scenarioTable(path string, reps int, parallel bool) (*experiments.Table, error) {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := scenario.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report, err := scenario.Replications(c, reps, workers)
+	if err != nil {
+		return nil, err
+	}
+	t := &experiments.Table{
+		ID:     "scenario-" + report.Spec.Name,
+		Title:  fmt.Sprintf("Scenario %s: %d replications per point (engine %s)", report.Spec.Name, reps, report.Spec.Engine),
+		Note:   report.Spec.Description,
+		Header: []string{"N", "metric", "mean", "± 95% CI", "stddev", "min", "max"},
+	}
+	for _, p := range report.Points {
+		for _, m := range p.Metrics {
+			t.AddRow(fmt.Sprint(p.N), m.Name,
+				fmt.Sprintf("%.6f", m.Summary.Mean),
+				fmt.Sprintf("%.6f", m.Summary.CI95),
+				fmt.Sprintf("%.6g", m.Summary.StdDev),
+				fmt.Sprintf("%.6f", m.Summary.Min),
+				fmt.Sprintf("%.6f", m.Summary.Max))
+		}
+	}
+	return t, nil
 }
 
 func ids() string {

@@ -15,6 +15,15 @@
 // result block per station count; -parallel fans the sweep points across
 // GOMAXPROCS goroutines. Each point owns its random streams and results
 // print in input order, so parallel output is bit-identical to serial.
+//
+// The declarative mode replaces the flag soup with a scenario file:
+//
+//	sim1901 -scenario examples/scenarios/heterogeneous.json -reps 10 -parallel
+//
+// runs R independent-seed replications of the scenario (sharded across
+// GOMAXPROCS with -parallel, bit-identical to serial) and prints each
+// metric's mean ± 95% confidence interval. -validate parses and
+// compiles the scenario without running it.
 package main
 
 import (
@@ -27,8 +36,40 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/par"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
+
+// runScenario is the declarative mode: load, compile, replicate, print.
+func runScenario(path string, reps int, parallel, validateOnly bool) {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim1901:", err)
+		os.Exit(2)
+	}
+	c, err := scenario.Compile(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim1901:", err)
+		os.Exit(2)
+	}
+	if validateOnly {
+		fmt.Println("ok:", c.Describe())
+		return
+	}
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report, err := scenario.Replications(c, reps, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim1901:", err)
+		os.Exit(2)
+	}
+	if err := report.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sim1901:", err)
+		os.Exit(1)
+	}
+}
 
 func parseIntVector(s string) ([]int, error) {
 	parts := strings.Split(s, ",")
@@ -55,8 +96,20 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed (equal seeds reproduce runs exactly)")
 		parallel    = flag.Bool("parallel", false, "run sweep points on GOMAXPROCS goroutines (bit-identical output)")
 		verbose     = flag.Bool("v", false, "also print per-station statistics")
+		scenarioF   = flag.String("scenario", "", "declarative scenario JSON file (replaces -n/-cw/-dc/...)")
+		reps        = flag.Int("reps", 10, "independent-seed replications per scenario point (with -scenario)")
+		validate    = flag.Bool("validate", false, "parse and compile -scenario, report, and exit without running")
 	)
 	flag.Parse()
+
+	if *scenarioF != "" {
+		runScenario(*scenarioF, *reps, *parallel, *validate)
+		return
+	}
+	if *validate {
+		fmt.Fprintln(os.Stderr, "sim1901: -validate requires -scenario")
+		os.Exit(2)
+	}
 
 	ns, err := parseIntVector(*nFlag)
 	if err != nil {

@@ -1,0 +1,102 @@
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestScenarioExamplesCompile keeps every shipped scenario file honest:
+// each must parse, validate and compile. CI additionally runs each
+// through `sim1901 -scenario f -validate`; this test catches the same
+// drift from plain `go test ./...`.
+func TestScenarioExamplesCompile(t *testing.T) {
+	paths, err := filepath.Glob("examples/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 5 {
+		t.Fatalf("found %d scenario examples, want ≥ 5 regimes", len(paths))
+	}
+	for _, p := range paths {
+		spec, err := scenario.Load(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if _, err := scenario.Compile(spec); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+// TestReproducingCommandsResolve statically checks every command quoted
+// in docs/REPRODUCING.md: the referenced cmd/ binary must exist, every
+// flag the command passes must be registered in that binary's source,
+// and every scenario file it names must be on disk. CI complements
+// this with a live `-h` probe of each binary.
+func TestReproducingCommandsResolve(t *testing.T) {
+	doc, err := os.ReadFile("docs/REPRODUCING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmdSrc := map[string]string{}
+	source := func(name string) string {
+		if src, ok := cmdSrc[name]; ok {
+			return src
+		}
+		data, err := os.ReadFile(filepath.Join("cmd", name, "main.go"))
+		if err != nil {
+			t.Errorf("command cmd/%s quoted in docs/REPRODUCING.md does not exist: %v", name, err)
+			data = nil
+		}
+		cmdSrc[name] = string(data)
+		return cmdSrc[name]
+	}
+
+	// Commands live in backtick spans (table cells, prose) and fenced
+	// code blocks; a per-line scan covers both without double-counting.
+	chunks := []string{}
+	for _, line := range strings.Split(string(doc), "\n") {
+		if strings.Contains(line, "./cmd/") {
+			chunks = append(chunks, line)
+		}
+	}
+	if len(chunks) == 0 {
+		t.Fatal("docs/REPRODUCING.md quotes no ./cmd/ commands; the mapping table is the point of the file")
+	}
+
+	cmdRe := regexp.MustCompile(`go run \./cmd/([a-z0-9]+)((?:\s+[^\s|]+)*)`)
+	flagRe := regexp.MustCompile(`(^|\s)-([a-z][a-z0-9-]*)`)
+	fileRe := regexp.MustCompile(`examples/scenarios/[^\s|]+\.json`)
+	seen := 0
+	for _, chunk := range chunks {
+		for _, m := range cmdRe.FindAllStringSubmatch(chunk, -1) {
+			name, args := m[1], m[2]
+			src := source(name)
+			if src == "" {
+				continue
+			}
+			seen++
+			for _, fm := range flagRe.FindAllStringSubmatch(args, -1) {
+				flagName := fm[2]
+				if !strings.Contains(src, `"`+flagName+`"`) {
+					t.Errorf("docs/REPRODUCING.md: %q passes -%s, but cmd/%s registers no such flag", strings.TrimSpace(m[0]), flagName, name)
+				}
+			}
+			for _, f := range fileRe.FindAllString(args, -1) {
+				if _, err := os.Stat(f); err != nil {
+					t.Errorf("docs/REPRODUCING.md references missing file %s", f)
+				}
+			}
+		}
+	}
+	if seen < 15 {
+		t.Errorf("resolved only %d commands; the artifact tables alone quote more — extraction regressed", seen)
+	}
+}

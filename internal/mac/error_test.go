@@ -1,0 +1,161 @@
+package mac
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/hpav"
+	"repro/internal/rng"
+	"repro/internal/traffic"
+)
+
+// errorNetwork assembles two saturated CA1 stations, the first with the
+// given frame error probability.
+func errorNetwork(seed uint64, p float64) (*Network, *Station, *Station) {
+	root := rng.New(seed)
+	nw := NewNetworkCfg(Config{})
+	a := NewStation("A", 2, hpav.MAC{0, 0, 0, 0, 0, 2}, root.Split(1))
+	b := NewStation("B", 3, hpav.MAC{0, 0, 0, 0, 0, 3}, root.Split(2))
+	dstAddr := hpav.MAC{0, 0, 0, 0, 0, 1}
+	for _, s := range []*Station{a, b} {
+		s.AddFlow(&Flow{
+			Source: traffic.Saturated{},
+			Spec: BurstSpec{
+				Dst: 9, DstAddr: dstAddr, Priority: config.CA1,
+				MPDUs: 1, PBsPerMPDU: 4, FrameMicros: 2050,
+			},
+		})
+	}
+	if p > 0 {
+		a.SetFrameError(p, root.Split(1<<32))
+	}
+	nw.Attach(a)
+	nw.Attach(b)
+	return nw, a, b
+}
+
+// TestFrameErrorStats checks the error path's bookkeeping: errors
+// accrue, errored bursts stay queued (the run keeps making progress),
+// the transmitter's Acked counter includes them, and goodput drops
+// against the error-free twin under the same seed.
+func TestFrameErrorStats(t *testing.T) {
+	noisy, a, _ := errorNetwork(1, 0.3)
+	noisy.Run(5e6)
+	st := noisy.Stats()
+	if st.FrameErrors == 0 {
+		t.Fatal("no frame errors at p=0.3")
+	}
+	if st.FrameErrorMPDUs != st.FrameErrors {
+		t.Fatalf("FrameErrorMPDUs %d != FrameErrors %d for 1-MPDU bursts", st.FrameErrorMPDUs, st.FrameErrors)
+	}
+	if st.ErroredPBs != st.FrameErrorMPDUs*4 {
+		t.Fatalf("ErroredPBs %d, want %d (4 PBs per errored MPDU)", st.ErroredPBs, st.FrameErrorMPDUs*4)
+	}
+	key := LinkKey{Peer: hpav.MAC{0, 0, 0, 0, 0, 1}, Priority: config.CA1, Direction: hpav.DirectionTx}
+	c := a.Counters().Fetch(key)
+	// Acked counts successes + collisions + errors for station A; its
+	// collided counter only counts collisions, so the difference bounds
+	// the errors from below.
+	if c.Acked <= c.Collided {
+		t.Fatalf("Acked %d should exceed Collided %d (successes and errors ack too)", c.Acked, c.Collided)
+	}
+
+	if cs := st.PerClass[config.CA1]; cs == nil || cs.FrameErrors != st.FrameErrors {
+		t.Fatalf("per-class frame errors %+v do not match total %d", cs, st.FrameErrors)
+	}
+
+	clean, _, _ := errorNetwork(1, 0)
+	clean.Run(5e6)
+	stClean := clean.Stats()
+	if stClean.FrameErrors != 0 {
+		t.Fatalf("error-free twin recorded %d frame errors", stClean.FrameErrors)
+	}
+	if st.PayloadMicros >= stClean.PayloadMicros {
+		t.Fatalf("payload with 30%% errors %v not below error-free %v", st.PayloadMicros, stClean.PayloadMicros)
+	}
+}
+
+// TestFrameErrorSnifferCapture checks that sniffer-enabled stations
+// hear errored bursts: the SoF delimiters are robustly coded, so the
+// capture stream must cover successes AND channel errors (the two
+// acked outcomes), keeping sniffer-based and counter-based attempt
+// estimates consistent.
+func TestFrameErrorSnifferCapture(t *testing.T) {
+	nw, a, b := errorNetwork(1, 0.3)
+	var captured int64
+	b.SnifferEnabled = true
+	b.Sniffer = func(hpav.SnifferInd) { captured++ }
+	nw.Run(5e6)
+	st := nw.Stats()
+	if st.FrameErrors == 0 {
+		t.Fatal("no frame errors at p=0.3")
+	}
+	// B hears every success on the strip (its own included) and every
+	// errored burst; bursts are 1 MPDU here.
+	want := st.SuccessMPDUs + st.FrameErrorMPDUs
+	if captured != want {
+		t.Fatalf("sniffer captured %d SoFs, want %d (successes %d + errors %d)",
+			captured, want, st.SuccessMPDUs, st.FrameErrorMPDUs)
+	}
+	_ = a
+}
+
+// TestFrameErrorObserverEquivalence pins the bit-identical guarantee
+// with frame errors active: an observed network (slot-by-slot, every
+// event emitted) and an unobserved one (idle fast-forward) must agree
+// on every statistic.
+func TestFrameErrorObserverEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		fast, _, _ := errorNetwork(seed, 0.25)
+		fast.Run(3e6)
+
+		slow, _, _ := errorNetwork(seed, 0.25)
+		var events, errorEvents int
+		slow.Observe(ObserverFunc(func(ev Event) {
+			events++
+			if ev.Kind == EventError {
+				errorEvents++
+				if len(ev.Transmitters) != 1 {
+					t.Fatalf("error event with %d transmitters", len(ev.Transmitters))
+				}
+			}
+		}))
+		slow.Run(3e6)
+
+		fs, ss := fast.Stats(), slow.Stats()
+		if !reflect.DeepEqual(fs, ss) {
+			t.Fatalf("seed %d: observed and unobserved stats differ:\n%+v\n%+v", seed, fs, ss)
+		}
+		if int64(errorEvents) != ss.FrameErrors {
+			t.Fatalf("seed %d: %d EventError emissions, stats say %d", seed, errorEvents, ss.FrameErrors)
+		}
+		if events == 0 {
+			t.Fatal("observer saw no events")
+		}
+	}
+}
+
+// TestSetFrameErrorValidation covers the setter's contract.
+func TestSetFrameErrorValidation(t *testing.T) {
+	_, a, _ := errorNetwork(1, 0)
+	for _, bad := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetFrameError(%v) did not panic", bad)
+				}
+			}()
+			a.SetFrameError(bad, rng.New(1))
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetFrameError(0.5, nil) did not panic")
+			}
+		}()
+		a.SetFrameError(0.5, nil)
+	}()
+	a.SetFrameError(0, nil) // p=0 with nil source is the off switch
+}

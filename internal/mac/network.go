@@ -28,6 +28,10 @@ const (
 	EventQuiet
 	// EventBeacon is a central-coordinator beacon busy period.
 	EventBeacon
+	// EventError is a single-transmitter burst lost to a channel error:
+	// no collision, but the destination received every block corrupted
+	// and acknowledged with the all-errored indication.
+	EventError
 )
 
 // String names the event kind.
@@ -43,6 +47,8 @@ func (k EventKind) String() string {
 		return "quiet"
 	case EventBeacon:
 		return "beacon"
+	case EventError:
+		return "error"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -61,10 +67,12 @@ type Event struct {
 	Class config.Priority
 	// Transmitters lists the stations that transmitted.
 	Transmitters []hpav.TEI
-	// Burst is the winning burst on success (nil otherwise).
+	// Burst is the burst delivered on success or lost on a channel
+	// error (nil otherwise).
 	Burst *hpav.Burst
-	// ErroredPBs counts physical blocks corrupted by the channel in a
-	// successful burst.
+	// ErroredPBs counts physical blocks corrupted by the channel: some
+	// blocks of a delivered burst (EventSuccess with an error model
+	// installed), or the whole burst on EventError.
 	ErroredPBs int
 }
 
@@ -92,6 +100,11 @@ type Stats struct {
 	CollidedMPDUs int64
 	// IdleSlots counts empty contention slots with contenders present.
 	IdleSlots int64
+	// FrameErrors counts single-transmitter bursts lost to channel
+	// errors (per-station frame loss, no collision); FrameErrorMPDUs
+	// the MPDUs they carried.
+	FrameErrors     int64
+	FrameErrorMPDUs int64
 	// QuietTime is simulated time with no pending traffic anywhere.
 	QuietTime float64
 	// Elapsed is the total simulated time advanced.
@@ -114,10 +127,12 @@ type Stats struct {
 	PerClass map[config.Priority]*ClassStats
 }
 
-// ClassStats are per-priority outcome counts.
+// ClassStats are per-priority outcome counts. Successes + Collisions +
+// FrameErrors accounts for every data busy period of the class.
 type ClassStats struct {
-	Successes  int64
-	Collisions int64
+	Successes   int64
+	Collisions  int64
+	FrameErrors int64
 }
 
 // Network is the single contention domain ("all stations are attached
@@ -146,9 +161,33 @@ type Network struct {
 	txScratch        []*Station
 }
 
+// Config is the compiled form of a contention domain's knobs — what the
+// declarative scenario layer (internal/scenario) and the testbed hand
+// to NewNetworkCfg in one value instead of a constructor-plus-setters
+// dance. The zero value reproduces the paper's medium exactly: default
+// Table-derived overheads, error-free channel, no beacons, no delay
+// recording.
+type Config struct {
+	// Overheads replaces the timing overheads; nil keeps
+	// timing.DefaultOverheads().
+	Overheads *timing.Overheads
+	// ErrorModel corrupts physical blocks of delivered bursts; nil keeps
+	// the error-free channel.
+	ErrorModel phy.ErrorModel
+	// BeaconPeriodMicros, when positive, carries a central-coordinator
+	// beacon every period µs (see EnableBeacons).
+	BeaconPeriodMicros float64
+	// RecordDelays enables per-burst access-delay sampling.
+	RecordDelays bool
+}
+
 // NewNetwork builds an empty contention domain with the paper's timing
 // overheads and an error-free channel.
-func NewNetwork() *Network {
+func NewNetwork() *Network { return NewNetworkCfg(Config{}) }
+
+// NewNetworkCfg builds an empty contention domain from a compiled
+// configuration. It panics on invalid overheads, like SetOverheads.
+func NewNetworkCfg(cfg Config) *Network {
 	n := &Network{
 		byTEI:     make(map[hpav.TEI]*Station),
 		byAddr:    make(map[hpav.MAC]*Station),
@@ -156,6 +195,16 @@ func NewNetwork() *Network {
 		errModel:  phy.None{},
 	}
 	n.stats.PerClass = make(map[config.Priority]*ClassStats)
+	if cfg.Overheads != nil {
+		n.SetOverheads(*cfg.Overheads)
+	}
+	if cfg.ErrorModel != nil {
+		n.SetErrorModel(cfg.ErrorModel)
+	}
+	if cfg.BeaconPeriodMicros > 0 {
+		n.EnableBeacons(cfg.BeaconPeriodMicros)
+	}
+	n.RecordDelays(cfg.RecordDelays)
 	return n
 }
 
@@ -348,10 +397,80 @@ func (n *Network) step(end float64) {
 		n.emit(Event{Time: now, Duration: timing.SlotTime, Kind: EventIdle, Class: activeClass})
 
 	case 1:
-		n.success(txs[0], activeClass, now)
+		// Per-station channel error: a lone transmission can still be
+		// lost (impulsive noise). The draw comes from the station's
+		// dedicated error stream, so enabling errors never perturbs
+		// backoff draws, and only single-transmitter events consume it.
+		if w := txs[0]; w.frameErrProb > 0 && w.errSrc.Bernoulli(w.frameErrProb) {
+			n.frameError(w, activeClass, now)
+		} else {
+			n.success(w, activeClass, now)
+		}
 
 	default:
 		n.collision(txs, activeClass, now)
+	}
+}
+
+// burstDuration is the busy period of a burst of k MPDUs transmitted
+// without collision (delivered or channel-errored): priority
+// resolution + each MPDU's preamble and payload + the response
+// interval with one selective ACK + CIFS.
+func (n *Network) burstDuration(k int, frameMicros float64) float64 {
+	o := n.overheads
+	return o.PRS + float64(k)*(o.Preamble+frameMicros) + o.RIFS + o.Ack + o.CIFS
+}
+
+// frameError wastes one success-shaped busy period on a burst the
+// channel corrupted end to end. The destination decodes the robust
+// preamble and acknowledges with the all-blocks-errored indication
+// (Section 3.2 semantics), so the transmitter's Acked counter advances,
+// its backoff moves to the next stage like any failed attempt, and the
+// burst stays queued for retry — exactly the collision path's retry
+// rule, but with a single transmitter. The SoF delimiters are robustly
+// coded, so sniffer-enabled stations still capture the errored burst.
+func (n *Network) frameError(w *Station, pri config.Priority, now float64) {
+	observed := len(n.observers) > 0
+	needBurst := observed || n.snifferActive()
+	var burst *hpav.Burst
+	var spec BurstSpec
+	if needBurst {
+		burst, spec = w.peekBurst(pri, now) // not consumed: the burst is retried
+	} else {
+		spec = w.peekSpec(pri, now)
+	}
+	k := spec.MPDUs
+	d := n.burstDuration(k, spec.FrameMicros)
+
+	txKey := LinkKey{Peer: spec.DstAddr, Priority: pri, Direction: hpav.DirectionTx}
+	w.counters.AddAcked(txKey, uint64(k))
+	if dst := n.byTEI[spec.Dst]; dst != nil {
+		rxKey := LinkKey{Peer: w.Addr, Priority: pri, Direction: hpav.DirectionRx}
+		dst.counters.AddAcked(rxKey, uint64(k))
+	}
+
+	if needBurst {
+		n.capture(burst, now)
+	}
+
+	for _, s := range n.stations {
+		if !s.active[pri] {
+			continue
+		}
+		s.afterBusy(pri, s == w, false)
+	}
+
+	n.stats.FrameErrors++
+	n.stats.FrameErrorMPDUs += int64(k)
+	n.stats.ErroredPBs += int64(k * spec.PBsPerMPDU)
+	n.classStats(pri).FrameErrors++
+	n.clock = now + d
+	if observed {
+		n.emit(Event{
+			Time: now, Duration: d, Kind: EventError, Class: pri,
+			Transmitters: []hpav.TEI{w.TEI}, Burst: burst,
+			ErroredPBs: k * spec.PBsPerMPDU,
+		})
 	}
 }
 
@@ -423,10 +542,7 @@ func (n *Network) success(w *Station, pri config.Priority, now float64) {
 	}
 	k := spec.MPDUs
 
-	// Duration: priority resolution + each MPDU's preamble and payload
-	// + the response interval with one selective ACK + CIFS.
-	o := n.overheads
-	d := o.PRS + float64(k)*(o.Preamble+spec.FrameMicros) + o.RIFS + o.Ack + o.CIFS
+	d := n.burstDuration(k, spec.FrameMicros)
 
 	// Channel errors: corrupt PBs of the delivered burst.
 	errored := 0

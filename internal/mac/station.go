@@ -71,6 +71,12 @@ type Station struct {
 
 	burstSeq uint32
 
+	// frameErrProb is the per-burst channel error probability of this
+	// station's transmissions; errSrc is the dedicated stream the draws
+	// come from (so errors never perturb backoff draws).
+	frameErrProb float64
+	errSrc       *rng.Source
+
 	// SnifferEnabled mirrors the device's sniffer mode: when set, the
 	// network delivers every observed SoF to the Sniffer callback.
 	SnifferEnabled bool
@@ -114,6 +120,23 @@ func (s *Station) SetParams(pri config.Priority, p config.Params) {
 		panic("mac: SetParams after the engine started")
 	}
 	s.params[pri] = p
+}
+
+// SetFrameError gives the station's transmissions a per-burst channel
+// error probability p ∈ [0, 1]: a burst that wins the medium alone is
+// still lost with probability p (frame loss without collision). Draws
+// come from src, a stream dedicated to this purpose — never from the
+// backoff streams — so an errored scenario shares every backoff draw
+// with its error-free twin. p = 0 restores the error-free channel.
+func (s *Station) SetFrameError(p float64, src *rng.Source) {
+	if p < 0 || p > 1 || p != p {
+		panic(fmt.Sprintf("mac: SetFrameError(%v): probability outside [0, 1]", p))
+	}
+	if p > 0 && src == nil {
+		panic("mac: SetFrameError: nil rng source")
+	}
+	s.frameErrProb = p
+	s.errSrc = src
 }
 
 // AddFlow attaches a traffic flow. Flows are served in order: the first
@@ -235,6 +258,20 @@ func (s *Station) takeSpec(pri config.Priority, now float64) BurstSpec {
 		return f.Spec
 	}
 	panic("mac: takeSpec called with no pending flow")
+}
+
+// peekBurst materializes the head-of-line burst at pri without
+// consuming the frame or advancing the burst sequence — the
+// channel-error path, where the burst stays queued and a later
+// successful delivery reuses the same numbering (a retransmission).
+func (s *Station) peekBurst(pri config.Priority, now float64) (*hpav.Burst, BurstSpec) {
+	spec := s.peekSpec(pri, now)
+	b, err := hpav.NewBurst(spec.MPDUs, s.TEI, spec.Dst, pri,
+		spec.PBsPerMPDU, spec.FrameMicros, s.burstSeq)
+	if err != nil {
+		panic(fmt.Sprintf("mac: peekBurst: %v", err)) // spec validated at AddFlow
+	}
+	return b, spec
 }
 
 // peekSpec returns the burst specification of the first pending flow at

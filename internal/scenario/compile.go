@@ -1,0 +1,269 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/hpav"
+	"repro/internal/mac"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// Compiled is a scenario ready to run: the normalized spec plus one
+// engine-ready Point per sweep value (or a single point when the spec
+// does not sweep). Compilation is deterministic and side-effect free;
+// the per-replication seed is injected at run time.
+type Compiled struct {
+	// Spec is the normalized spec (every default explicit).
+	Spec Spec
+	// Points holds one entry per sweep value, in sweep order, or exactly
+	// one entry for a non-sweeping spec.
+	Points []Point
+}
+
+// Point is one operating point of a compiled scenario.
+type Point struct {
+	// N is the total station count at this point.
+	N int
+	// SimInputs is the compiled form for the slot-synchronous engine
+	// (nil when the scenario targets the mac engine). Its Seed field is
+	// zero; Run fills it per replication.
+	SimInputs *sim.Inputs
+	// MacPlan is the compiled form for the event-driven MAC (nil when
+	// the scenario targets the sim engine).
+	MacPlan *MacPlan
+}
+
+// MacPlan is the compiled form of a mac-engine scenario: everything
+// Build needs except the seed.
+type MacPlan struct {
+	// Cfg is handed to mac.NewNetworkCfg.
+	Cfg mac.Config
+	// SimTimeMicros is the run duration.
+	SimTimeMicros float64
+	// Stations holds one entry per station, groups expanded in order.
+	Stations []MacStation
+}
+
+// MacStation is one station of a MacPlan.
+type MacStation struct {
+	// Priority is the station's data class.
+	Priority config.Priority
+	// Params are the CSMA/CA parameters of that class.
+	Params config.Params
+	// Traffic is the normalized arrival process.
+	Traffic Traffic
+	// ErrorProb is the per-burst channel error probability.
+	ErrorProb float64
+	// BurstMPDUs, PBsPerMPDU and FrameMicros shape the bursts.
+	BurstMPDUs  int
+	PBsPerMPDU  int
+	FrameMicros float64
+}
+
+// Compile validates and normalizes the spec and lowers it onto the
+// engine it targets.
+func Compile(s Spec) (*Compiled, error) {
+	norm, err := s.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Spec: norm}
+	if len(norm.SweepN) == 0 {
+		p, err := compilePoint(norm, norm.Stations)
+		if err != nil {
+			return nil, err
+		}
+		c.Points = []Point{p}
+		return c, nil
+	}
+	for _, n := range norm.SweepN {
+		g := norm.Stations[0] // Validate pinned sweeps to one group
+		g.Count = n
+		p, err := compilePoint(norm, []Group{g})
+		if err != nil {
+			return nil, err
+		}
+		c.Points = append(c.Points, p)
+	}
+	return c, nil
+}
+
+// compilePoint lowers one operating point (an expanded group list).
+func compilePoint(s Spec, groups []Group) (Point, error) {
+	n := 0
+	for _, g := range groups {
+		n += g.Count
+	}
+	if s.Engine == EngineMac {
+		plan := &MacPlan{
+			Cfg:           mac.Config{BeaconPeriodMicros: s.BeaconPeriodMicros},
+			SimTimeMicros: s.SimTimeMicros,
+		}
+		for gi, g := range groups {
+			pri, _ := config.ParsePriority(g.Priority)
+			for k := 0; k < g.Count; k++ {
+				plan.Stations = append(plan.Stations, MacStation{
+					Priority: pri,
+					Params: config.Params{
+						Name: fmt.Sprintf("%s-g%d", s.Name, gi),
+						CW:   g.CW, DC: g.DC,
+					},
+					Traffic:     *g.Traffic,
+					ErrorProb:   g.ErrorProb,
+					BurstMPDUs:  g.BurstMPDUs,
+					PBsPerMPDU:  g.PBsPerMPDU,
+					FrameMicros: g.FrameMicros,
+				})
+			}
+		}
+		return Point{N: n, MacPlan: plan}, nil
+	}
+
+	in := &sim.Inputs{
+		N:           n,
+		SimTime:     s.SimTimeMicros,
+		Tc:          s.TcMicros,
+		Ts:          s.TsMicros,
+		FrameLength: s.FrameMicros,
+		PerStation:  make([]config.Params, 0, n),
+	}
+	anyErr := false
+	errProb := make([]float64, 0, n)
+	for gi, g := range groups {
+		p := config.Params{
+			Name: fmt.Sprintf("%s-g%d", s.Name, gi),
+			CW:   g.CW, DC: g.DC,
+		}
+		for k := 0; k < g.Count; k++ {
+			in.PerStation = append(in.PerStation, p)
+			errProb = append(errProb, g.ErrorProb)
+			if g.ErrorProb > 0 {
+				anyErr = true
+			}
+		}
+	}
+	if anyErr {
+		in.ErrorProb = errProb
+	}
+	if err := in.Validate(); err != nil {
+		return Point{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return Point{N: n, SimInputs: in}, nil
+}
+
+// Station addressing for mac-engine scenarios. The TEI layout mirrors
+// the testbed's (destination D at TEI 1, transmitters from TEI 2), but
+// the MAC block (…:EE:…) is deliberately distinct from the testbed's
+// (…:00:…/…:01:…), so counters keyed by peer address can never confuse
+// a scenario run with a testbed run.
+const dstTEI = hpav.TEI(1)
+
+var dstAddr = hpav.MAC{0x00, 0xB0, 0x52, 0xEE, 0x00, 0x01}
+
+func stationAddr(i int) hpav.MAC {
+	return hpav.MAC{0x00, 0xB0, 0x52, 0xEE, 0x01, byte(i + 1)}
+}
+
+// errStreamBase labels the dedicated per-station channel-error streams,
+// mirroring the sim engine's convention so error draws never collide
+// with backoff or traffic streams.
+const errStreamBase = uint64(1) << 32
+
+// buildMac assembles a runnable network from a plan and a seed. The rng
+// root splits exactly like the testbed: destination at 0, station i's
+// backoff streams at i+1, its traffic stream at 1000+i, and its channel
+// error stream far above at errStreamBase+i.
+func buildMac(plan *MacPlan, seed uint64) *mac.Network {
+	root := rng.New(seed)
+	nw := mac.NewNetworkCfg(plan.Cfg)
+
+	dst := mac.NewStation("D", dstTEI, dstAddr, root.Split(0))
+	nw.Attach(dst)
+
+	for i, sp := range plan.Stations {
+		st := mac.NewStation(fmt.Sprintf("sta%d", i+1), hpav.TEI(i+2), stationAddr(i), root.Split(uint64(i+1)))
+		st.SetParams(sp.Priority, sp.Params)
+
+		var src traffic.Source
+		switch sp.Traffic.Kind {
+		case TrafficPoisson:
+			src = traffic.NewPoisson(sp.Traffic.MeanInterarrivalMicros, root.Split(uint64(1000+i)))
+		case TrafficNone:
+			src = traffic.None{}
+		default:
+			src = traffic.Saturated{}
+		}
+		st.AddFlow(&mac.Flow{
+			Source: src,
+			Spec: mac.BurstSpec{
+				Dst: dstTEI, DstAddr: dstAddr, Priority: sp.Priority,
+				MPDUs: sp.BurstMPDUs, PBsPerMPDU: sp.PBsPerMPDU,
+				FrameMicros: sp.FrameMicros,
+			},
+		})
+		if sp.ErrorProb > 0 {
+			st.SetFrameError(sp.ErrorProb, root.Split(errStreamBase+uint64(i)))
+		}
+		nw.Attach(st)
+	}
+	return nw
+}
+
+// Metric is one named measurement of a replication. Metrics come in a
+// fixed, engine-determined order so that aggregation across
+// replications — and rendering — is deterministic.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// RunOnce executes one replication of a compiled point with the given
+// seed and returns its metrics in the engine's canonical order.
+func RunOnce(p Point, seed uint64) ([]Metric, error) {
+	switch {
+	case p.SimInputs != nil:
+		in := *p.SimInputs
+		in.Seed = seed
+		e, err := sim.NewEngine(in)
+		if err != nil {
+			return nil, err
+		}
+		r := e.Run()
+		return []Metric{
+			{"collision_pr", r.CollisionProbability},
+			{"norm_throughput", r.NormalizedThroughput},
+			{"successes", float64(r.Successes)},
+			{"collided_frames", float64(r.CollidedFrames)},
+			{"frame_errors", float64(r.FrameErrors)},
+			{"idle_slots", float64(r.IdleSlots)},
+			{"elapsed_us", r.Elapsed},
+		}, nil
+
+	case p.MacPlan != nil:
+		nw := buildMac(p.MacPlan, seed)
+		nw.Run(p.MacPlan.SimTimeMicros)
+		st := nw.Stats()
+		attempts := st.CollidedMPDUs + st.SuccessMPDUs + st.FrameErrorMPDUs
+		collisionPr := 0.0
+		if attempts > 0 {
+			collisionPr = float64(st.CollidedMPDUs) / float64(attempts)
+		}
+		return []Metric{
+			{"collision_pr", collisionPr},
+			{"norm_throughput", st.PayloadMicros / st.Elapsed},
+			{"successes", float64(st.Successes)},
+			{"collisions", float64(st.Collisions)},
+			{"frame_errors", float64(st.FrameErrors)},
+			{"idle_slots", float64(st.IdleSlots)},
+			{"quiet_fraction", st.QuietTime / st.Elapsed},
+			{"beacons", float64(st.Beacons)},
+			{"elapsed_us", st.Elapsed},
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("scenario: point compiled to no engine")
+	}
+}

@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/par"
+	"repro/internal/stats"
+)
+
+// mix is the SplitMix64 output finalizer: a bijective avalanche over 64
+// bits, used to derive well-separated replication seeds from the base
+// seed without touching the rng package's stream state.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// golden is the SplitMix64 increment (2⁶⁴/φ).
+const golden = 0x9e3779b97f4a7c15
+
+// RepSeed derives the seed of replication rep at sweep point (both
+// 0-based) under the given policy. "increment" reproduces the classic
+// sweep convention (base+rep at every point); "split" decorrelates
+// points and replications through two SplitMix64 rounds.
+func RepSeed(policy string, base uint64, point, rep int) uint64 {
+	if policy == SeedIncrement {
+		return base + uint64(rep)
+	}
+	z := mix(base + golden*uint64(point+1))
+	return mix(z + golden*uint64(rep+1))
+}
+
+// MetricSummary aggregates one metric across replications.
+type MetricSummary struct {
+	Name    string
+	Summary stats.Summary
+}
+
+// PointReport is one sweep point's aggregated result.
+type PointReport struct {
+	// N is the total station count at this point.
+	N int
+	// Seeds lists each replication's derived seed, in replication order.
+	Seeds []uint64
+	// Metrics aggregates each metric across the replications, in the
+	// engine's canonical metric order.
+	Metrics []MetricSummary
+	// PerRep holds the raw per-replication metrics (replication-major),
+	// so callers can post-process beyond mean/CI.
+	PerRep [][]Metric
+}
+
+// Report is the aggregated outcome of Replications.
+type Report struct {
+	// Spec is the normalized spec the run used.
+	Spec Spec
+	// Reps is the replication count per point.
+	Reps int
+	// Points holds one report per sweep point, in sweep order.
+	Points []PointReport
+}
+
+// Replications runs reps independent-seed replications of every point
+// of the compiled scenario, fanned across up to workers goroutines
+// through the deterministic internal/par pool, and aggregates mean,
+// standard deviation and 95% confidence interval per metric.
+//
+// Every replication owns its random streams (the seed derives from the
+// spec's seed policy, then splits per station), and results are
+// collected in input order — so the report is bit-identical whatever
+// the worker count. workers ≤ 1 runs serially.
+func Replications(c *Compiled, reps, workers int) (*Report, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("scenario %s: replications = %d must be ≥ 1", c.Spec.Name, reps)
+	}
+	type job struct {
+		point, rep int
+		seed       uint64
+	}
+	jobs := make([]job, 0, len(c.Points)*reps)
+	for pi := range c.Points {
+		for r := 0; r < reps; r++ {
+			jobs = append(jobs, job{pi, r, RepSeed(c.Spec.SeedPolicy, c.Spec.Seed, pi, r)})
+		}
+	}
+	results, err := par.Map(workers, jobs, func(_ int, j job) ([]Metric, error) {
+		return RunOnce(c.Points[j.point], j.seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Spec: c.Spec, Reps: reps}
+	for pi, p := range c.Points {
+		pr := PointReport{N: p.N}
+		for r := 0; r < reps; r++ {
+			j := pi*reps + r
+			pr.Seeds = append(pr.Seeds, jobs[j].seed)
+			pr.PerRep = append(pr.PerRep, results[j])
+		}
+		first := pr.PerRep[0]
+		sample := make([]float64, reps)
+		for mi, m := range first {
+			for r := 0; r < reps; r++ {
+				sample[r] = pr.PerRep[r][mi].Value
+			}
+			pr.Metrics = append(pr.Metrics, MetricSummary{Name: m.Name, Summary: stats.Summarize(sample)})
+		}
+		rep.Points = append(rep.Points, pr)
+	}
+	return rep, nil
+}
+
+// Write renders the report as aligned plain text: a header describing
+// the scenario, then one "metric = mean ± ci95" line per metric (and a
+// "# N = …" block per sweep point). The output is a pure function of
+// the report, hence bit-identical between serial and parallel runs.
+func (r *Report) Write(w io.Writer) error {
+	s := r.Spec
+	if _, err := fmt.Fprintf(w, "# scenario %s (engine %s, %d stations", s.Name, s.Engine, s.N()); err != nil {
+		return err
+	}
+	if len(s.SweepN) > 0 {
+		if _, err := fmt.Fprintf(w, " max, sweep over N=%v", s.SweepN); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, ", %d reps, seed %d/%s)\n", r.Reps, s.Seed, s.SeedPolicy); err != nil {
+		return err
+	}
+	if s.Description != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", s.Description); err != nil {
+			return err
+		}
+	}
+	width := 0
+	for _, p := range r.Points {
+		for _, m := range p.Metrics {
+			if len(m.Name) > width {
+				width = len(m.Name)
+			}
+		}
+	}
+	for _, p := range r.Points {
+		if len(s.SweepN) > 0 {
+			if _, err := fmt.Fprintf(w, "\n# N = %d\n", p.N); err != nil {
+				return err
+			}
+		}
+		for _, m := range p.Metrics {
+			pad := strings.Repeat(" ", width-len(m.Name))
+			if m.Summary.N == 1 {
+				// A single sample has no confidence interval; do not
+				// print a zero-width one.
+				if _, err := fmt.Fprintf(w, "%s%s = %.6f   (n=1, no CI)\n",
+					m.Name, pad, m.Summary.Mean); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s = %.6f ± %.6f   (95%% CI, n=%d, sd %.6g)\n",
+				m.Name, pad, m.Summary.Mean, m.Summary.CI95, m.Summary.N, m.Summary.StdDev); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Describe summarizes a compiled scenario in one line — the -validate
+// output of cmd/sim1901 and the CI scenario check.
+func (c *Compiled) Describe() string {
+	s := c.Spec
+	if len(s.SweepN) > 0 {
+		return fmt.Sprintf("scenario %s: engine %s, sweep over N=%v, %d group(s)",
+			s.Name, s.Engine, s.SweepN, len(s.Stations))
+	}
+	return fmt.Sprintf("scenario %s: engine %s, N=%d, %d group(s)",
+		s.Name, s.Engine, c.Points[0].N, len(s.Stations))
+}

@@ -1,0 +1,429 @@
+// Package scenario is the declarative layer over the repository's two
+// simulators: a JSON-serializable Spec describes an operating regime —
+// station groups with heterogeneous CW/DC vectors, priorities, traffic
+// (saturated, Poisson or silent), per-station channel error
+// probabilities, beacons, timing and seed policy — and compiles into
+// either the slot-synchronous sim.Engine or the event-driven
+// mac.Network, whichever can express it.
+//
+// Where internal/experiments hard-codes each paper table and figure as
+// a bespoke function, a Spec reaches every regime those functions span
+// (and ones they cannot, such as per-station frame loss without
+// collision, or mixed saturated/Poisson populations) from one file
+// format, so new operating points need no new Go code.
+//
+// Replications shards R independent-seed replications of a compiled
+// scenario across the deterministic internal/par worker pool and
+// aggregates each metric's mean, standard deviation and 95% confidence
+// interval via internal/stats. Results are order-preserving and
+// bit-identical whatever the worker count.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/hpav"
+)
+
+// Engine names accepted by Spec.Engine.
+const (
+	// EngineAuto lets Compile pick: the minimal slot-synchronous
+	// simulator when the spec is expressible there, the event-driven MAC
+	// otherwise.
+	EngineAuto = "auto"
+	// EngineSim is the slot-synchronous port of the paper's sim_1901
+	// (single priority, saturated, one frame per transmission).
+	EngineSim = "sim"
+	// EngineMac is the event-driven multi-priority MAC behind the
+	// emulated testbed (bursts, priorities, Poisson traffic, beacons).
+	EngineMac = "mac"
+)
+
+// Seed policies accepted by Spec.SeedPolicy.
+const (
+	// SeedSplit (the default) derives every replication's seed from the
+	// base seed through a SplitMix64-style mix, decorrelating
+	// replications and sweep points.
+	SeedSplit = "split"
+	// SeedIncrement uses base+r for replication r at every sweep point —
+	// the convention of the classic sim1901 -n sweeps, where each N
+	// reuses the same seed.
+	SeedIncrement = "increment"
+)
+
+// Traffic kinds accepted by Traffic.Kind.
+const (
+	// TrafficSaturated always has a frame queued (the regime of every
+	// validation experiment in the paper).
+	TrafficSaturated = "saturated"
+	// TrafficPoisson generates exponentially spaced arrivals with
+	// MeanInterarrivalMicros. Requires the mac engine.
+	TrafficPoisson = "poisson"
+	// TrafficNone attaches a silent station (it contends for nothing but
+	// occupies an address). Requires the mac engine.
+	TrafficNone = "none"
+)
+
+// Traffic describes one station group's arrival process.
+type Traffic struct {
+	// Kind is one of the Traffic* constants; empty means saturated.
+	Kind string `json:"kind,omitempty"`
+	// MeanInterarrivalMicros is the Poisson mean inter-arrival time in
+	// µs; required iff Kind is "poisson".
+	MeanInterarrivalMicros float64 `json:"mean_interarrival_us,omitempty"`
+}
+
+// Group declares Count identically configured stations.
+type Group struct {
+	// Count is the number of stations in the group (≥ 1).
+	Count int `json:"count"`
+	// CW and DC are the per-stage contention windows and initial
+	// deferral counters (the paper's cw/dc vectors). Both or neither
+	// must be given; when absent, the Table 1 defaults of the group's
+	// priority apply.
+	CW []int `json:"cw,omitempty"`
+	DC []int `json:"dc,omitempty"`
+	// Priority is the channel-access class ("CA0".."CA3"); default CA1,
+	// the class of all the paper's data traffic.
+	Priority string `json:"priority,omitempty"`
+	// Traffic is the group's arrival process; nil means saturated.
+	Traffic *Traffic `json:"traffic,omitempty"`
+	// ErrorProb is the per-frame channel error probability in [0, 1]:
+	// frame loss without collision. 0 keeps the paper's error-free
+	// channel.
+	ErrorProb float64 `json:"error_prob,omitempty"`
+	// BurstMPDUs is the MPDU burst size (mac engine only; default 1, so
+	// that sim and mac scenarios compare like for like — the paper's
+	// testbed uses 2).
+	BurstMPDUs int `json:"burst_mpdus,omitempty"`
+	// PBsPerMPDU is the physical-block count per MPDU (mac engine only;
+	// default 4).
+	PBsPerMPDU int `json:"pbs_per_mpdu,omitempty"`
+	// FrameMicros overrides the per-MPDU payload duration for this group
+	// (mac engine only; default: the spec-level frame_us).
+	FrameMicros float64 `json:"frame_us,omitempty"`
+}
+
+// Spec is a declarative scenario: everything a run needs except the
+// replication count, which is a property of the study, not the regime.
+//
+// The zero values of the optional fields reproduce the paper's
+// defaults; Normalized returns the spec with every default made
+// explicit.
+type Spec struct {
+	// Name identifies the scenario in reports (required).
+	Name string `json:"name"`
+	// Description is free text for humans.
+	Description string `json:"description,omitempty"`
+	// Engine selects the simulator: "sim", "mac", or "auto"/"" to let
+	// Compile decide.
+	Engine string `json:"engine,omitempty"`
+	// SimTimeMicros is the simulated duration per replication in µs
+	// (required; the paper's validation runs use 5e8).
+	SimTimeMicros float64 `json:"sim_time_us"`
+	// Seed is the base random seed (default 1). Replication r derives
+	// its own seed from it according to SeedPolicy.
+	Seed uint64 `json:"seed,omitempty"`
+	// SeedPolicy is "split" (default) or "increment"; see the Seed*
+	// constants.
+	SeedPolicy string `json:"seed_policy,omitempty"`
+	// SweepN, when non-empty, turns the scenario into a sweep over total
+	// station counts: the spec must then declare exactly one group,
+	// whose Count is replaced by each sweep value in turn.
+	SweepN []int `json:"sweep_n,omitempty"`
+	// TcMicros and TsMicros are the collision and success durations for
+	// the sim engine (defaults: the paper's 2920.64 and 2542.64). The
+	// mac engine derives durations from its overhead model instead.
+	TcMicros float64 `json:"tc_us,omitempty"`
+	TsMicros float64 `json:"ts_us,omitempty"`
+	// FrameMicros is the frame payload duration in µs (default 2050):
+	// the throughput-normalization length for the sim engine, and the
+	// default per-MPDU payload for mac groups.
+	FrameMicros float64 `json:"frame_us,omitempty"`
+	// BeaconPeriodMicros, when positive, carries a central-coordinator
+	// beacon every period µs (mac engine only; HomePlug AV uses two AC
+	// line cycles, 33330 µs at 60 Hz).
+	BeaconPeriodMicros float64 `json:"beacon_period_us,omitempty"`
+	// Stations declares the population, group by group.
+	Stations []Group `json:"stations"`
+}
+
+// Parse decodes a Spec from JSON. Unknown fields are rejected, so typos
+// fail loudly instead of silently reverting to defaults.
+func Parse(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parse: %w", err)
+	}
+	return s, nil
+}
+
+// Load reads and decodes a Spec from a JSON file.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}
+
+// Marshal encodes the spec as indented JSON (the format of the files
+// under examples/scenarios).
+func (s Spec) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: marshal: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// N returns the total station count (with SweepN, the count of the
+// largest sweep point — callers that need per-point counts use
+// Compile).
+func (s Spec) N() int {
+	if len(s.SweepN) > 0 {
+		max := 0
+		for _, n := range s.SweepN {
+			if n > max {
+				max = n
+			}
+		}
+		return max
+	}
+	n := 0
+	for _, g := range s.Stations {
+		n += g.Count
+	}
+	return n
+}
+
+// finitePositive reports whether v is a positive finite float.
+func finitePositive(v float64) bool {
+	return v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// Validate checks the spec's structural invariants and reports the
+// first violation with enough context to fix the file (field paths use
+// the JSON names).
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing \"name\"")
+	}
+	switch s.Engine {
+	case "", EngineAuto, EngineSim, EngineMac:
+	default:
+		return fmt.Errorf("scenario %s: unknown engine %q (want %q, %q or %q)",
+			s.Name, s.Engine, EngineSim, EngineMac, EngineAuto)
+	}
+	if !finitePositive(s.SimTimeMicros) {
+		return fmt.Errorf("scenario %s: \"sim_time_us\" = %v must be a positive finite duration", s.Name, s.SimTimeMicros)
+	}
+	switch s.SeedPolicy {
+	case "", SeedSplit, SeedIncrement:
+	default:
+		return fmt.Errorf("scenario %s: unknown seed_policy %q (want %q or %q)",
+			s.Name, s.SeedPolicy, SeedSplit, SeedIncrement)
+	}
+	for _, d := range []struct {
+		name string
+		v    float64
+	}{{"tc_us", s.TcMicros}, {"ts_us", s.TsMicros}, {"frame_us", s.FrameMicros}, {"beacon_period_us", s.BeaconPeriodMicros}} {
+		if d.v != 0 && !finitePositive(d.v) {
+			return fmt.Errorf("scenario %s: %q = %v must be a positive finite duration (or omitted)", s.Name, d.name, d.v)
+		}
+	}
+	if len(s.Stations) == 0 {
+		return fmt.Errorf("scenario %s: \"stations\" must declare at least one group", s.Name)
+	}
+	if len(s.SweepN) > 0 {
+		if len(s.Stations) != 1 {
+			return fmt.Errorf("scenario %s: \"sweep_n\" requires exactly one station group, got %d", s.Name, len(s.Stations))
+		}
+		for i, n := range s.SweepN {
+			if n < 1 {
+				return fmt.Errorf("scenario %s: sweep_n[%d] = %d must be ≥ 1", s.Name, i, n)
+			}
+		}
+	}
+	for gi, g := range s.Stations {
+		if err := s.validateGroup(gi, g); err != nil {
+			return err
+		}
+	}
+	if s.Engine == EngineSim {
+		if why := s.needsMac(); why != "" {
+			return fmt.Errorf("scenario %s: engine \"sim\" cannot express %s (use \"mac\" or \"auto\")", s.Name, why)
+		}
+	}
+	return nil
+}
+
+func (s Spec) validateGroup(gi int, g Group) error {
+	at := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %s: stations[%d]: %s", s.Name, gi, fmt.Sprintf(format, args...))
+	}
+	if g.Count < 1 && len(s.SweepN) == 0 {
+		return at("\"count\" = %d must be ≥ 1", g.Count)
+	}
+	if (g.CW == nil) != (g.DC == nil) {
+		return at("\"cw\" and \"dc\" must be given together (got cw=%v dc=%v)", g.CW, g.DC)
+	}
+	if g.CW != nil {
+		p := config.Params{Name: "spec", CW: g.CW, DC: g.DC}
+		if err := p.Validate(); err != nil {
+			return at("%v", err)
+		}
+	}
+	if g.Priority != "" {
+		if _, err := config.ParsePriority(g.Priority); err != nil {
+			return at("%v", err)
+		}
+	}
+	if g.Traffic != nil {
+		switch g.Traffic.Kind {
+		case "", TrafficSaturated, TrafficNone:
+			if g.Traffic.MeanInterarrivalMicros != 0 {
+				return at("\"mean_interarrival_us\" is only meaningful for poisson traffic")
+			}
+		case TrafficPoisson:
+			if !finitePositive(g.Traffic.MeanInterarrivalMicros) {
+				return at("poisson traffic needs \"mean_interarrival_us\" > 0, got %v", g.Traffic.MeanInterarrivalMicros)
+			}
+		default:
+			return at("unknown traffic kind %q (want %q, %q or %q)",
+				g.Traffic.Kind, TrafficSaturated, TrafficPoisson, TrafficNone)
+		}
+	}
+	if g.ErrorProb < 0 || g.ErrorProb > 1 || math.IsNaN(g.ErrorProb) {
+		return at("\"error_prob\" = %v outside [0, 1]", g.ErrorProb)
+	}
+	if g.BurstMPDUs < 0 || g.BurstMPDUs > hpav.MaxBurstMPDUs {
+		return at("\"burst_mpdus\" = %d outside 1–%d", g.BurstMPDUs, hpav.MaxBurstMPDUs)
+	}
+	if g.PBsPerMPDU < 0 {
+		return at("\"pbs_per_mpdu\" = %d must be ≥ 1", g.PBsPerMPDU)
+	}
+	if g.FrameMicros != 0 && !finitePositive(g.FrameMicros) {
+		return at("\"frame_us\" = %v must be a positive finite duration (or omitted)", g.FrameMicros)
+	}
+	return nil
+}
+
+// needsMac returns a human-readable reason the spec requires the
+// event-driven MAC, or "" when the slot-synchronous simulator can
+// express it.
+func (s Spec) needsMac() string {
+	if s.BeaconPeriodMicros > 0 {
+		return "beacons"
+	}
+	seen := map[string]bool{}
+	for gi, g := range s.Stations {
+		if g.Traffic != nil && g.Traffic.Kind != "" && g.Traffic.Kind != TrafficSaturated {
+			return fmt.Sprintf("stations[%d]'s %s traffic (the sim engine is saturated-only)", gi, g.Traffic.Kind)
+		}
+		if g.BurstMPDUs > 1 {
+			return fmt.Sprintf("stations[%d]'s burst of %d MPDUs (the sim engine sends one frame per transmission)", gi, g.BurstMPDUs)
+		}
+		if g.PBsPerMPDU != 0 || g.FrameMicros != 0 {
+			return fmt.Sprintf("stations[%d]'s per-group PHY framing", gi)
+		}
+		pri := g.Priority
+		if pri == "" {
+			pri = "CA1"
+		}
+		seen[pri] = true
+	}
+	if len(seen) > 1 {
+		return "mixed priority classes (the sim engine runs a single contention class)"
+	}
+	return ""
+}
+
+// Normalized returns a copy of the spec with every default made
+// explicit: the engine resolved, seed and policy filled, timing
+// constants expanded, and each group's priority, parameters, traffic
+// and (for the mac engine) framing written out. Normalization is
+// idempotent, which is what makes the JSON round trip lossless:
+// Normalized(Parse(Marshal(Normalized(s)))) == Normalized(s).
+func (s Spec) Normalized() (Spec, error) {
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	out := s
+	if out.Engine == "" || out.Engine == EngineAuto {
+		if out.needsMac() != "" {
+			out.Engine = EngineMac
+		} else {
+			out.Engine = EngineSim
+		}
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.SeedPolicy == "" {
+		out.SeedPolicy = SeedSplit
+	}
+	if out.TcMicros == 0 {
+		out.TcMicros = 2920.64
+	}
+	if out.TsMicros == 0 {
+		out.TsMicros = 2542.64
+	}
+	if out.FrameMicros == 0 {
+		out.FrameMicros = 2050
+	}
+	out.SweepN = append([]int(nil), s.SweepN...)
+	out.Stations = make([]Group, len(s.Stations))
+	for gi, g := range s.Stations {
+		ng := g
+		if ng.Priority == "" {
+			ng.Priority = "CA1"
+		}
+		pri, err := config.ParsePriority(ng.Priority)
+		if err != nil {
+			return Spec{}, err // unreachable: Validate parsed it already
+		}
+		ng.Priority = pri.String()
+		if ng.CW == nil {
+			def := config.Default1901(pri)
+			ng.CW = def.CW
+			ng.DC = def.DC
+		} else {
+			ng.CW = append([]int(nil), g.CW...)
+			ng.DC = append([]int(nil), g.DC...)
+		}
+		if ng.Traffic == nil {
+			ng.Traffic = &Traffic{Kind: TrafficSaturated}
+		} else {
+			t := *ng.Traffic
+			if t.Kind == "" {
+				t.Kind = TrafficSaturated
+			}
+			ng.Traffic = &t
+		}
+		if out.Engine == EngineMac {
+			if ng.BurstMPDUs == 0 {
+				ng.BurstMPDUs = 1
+			}
+			if ng.PBsPerMPDU == 0 {
+				ng.PBsPerMPDU = 4
+			}
+			if ng.FrameMicros == 0 {
+				ng.FrameMicros = out.FrameMicros
+			}
+		}
+		out.Stations[gi] = ng
+	}
+	return out, nil
+}

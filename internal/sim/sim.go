@@ -15,7 +15,11 @@
 //
 // Assumptions inherited from the paper's simulator: stations are
 // saturated, the retry limit is infinite, all stations form a single
-// contention domain, and the channel is error-free.
+// contention domain, and the channel is error-free. The last assumption
+// can be lifted per station through Inputs.ErrorProb (frame loss
+// without collision), a knob the declarative scenario layer
+// (internal/scenario) exposes; leaving it nil reproduces the paper
+// exactly.
 package sim
 
 import (
@@ -49,6 +53,17 @@ type Inputs struct {
 	// heterogeneous coexistence scenarios). When non-nil it must have
 	// exactly N entries and overrides Params.
 	PerStation []config.Params
+	// ErrorProb optionally assigns each station a per-frame channel
+	// error probability: a transmission that wins the medium alone is
+	// still lost with this probability (impulsive power-line noise, no
+	// collision involved). The destination acknowledges the errored
+	// frame with an all-blocks-errored indication, so the transmitter
+	// treats it like a failed attempt and moves to the next backoff
+	// stage. When non-nil it must have exactly N entries in [0, 1];
+	// nil keeps the paper's error-free channel. Error draws come from
+	// dedicated per-station streams, so enabling errors never perturbs
+	// the backoff draws of an otherwise identical run.
+	ErrorProb []float64
 	// Seed selects the random stream; runs with equal inputs and seeds
 	// are bit-identical.
 	Seed uint64
@@ -86,6 +101,16 @@ func (in Inputs) Validate() error {
 			return fmt.Errorf("sim: %s=%v must be a positive finite duration", d.name, d.v)
 		}
 	}
+	if in.ErrorProb != nil {
+		if len(in.ErrorProb) != in.N {
+			return fmt.Errorf("sim: %d error probabilities for N=%d", len(in.ErrorProb), in.N)
+		}
+		for i, p := range in.ErrorProb {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return fmt.Errorf("sim: station %d: error probability %v outside [0, 1]", i, p)
+			}
+		}
+	}
 	if in.PerStation != nil {
 		if len(in.PerStation) != in.N {
 			return fmt.Errorf("sim: %d per-station configs for N=%d", len(in.PerStation), in.N)
@@ -116,7 +141,11 @@ func (in Inputs) stationParams(i int) config.Params {
 //
 // where "collisions" counts the colliding *stations* of each collision
 // event (a 3-way collision adds 3), matching the per-station frame
-// counters the testbed measures.
+// counters the testbed measures. With a channel error model installed
+// (Inputs.ErrorProb) the attempt denominator additionally includes the
+// errored frames — the ΣAᵢ estimator of Section 3.2 counts them, since
+// the destination acknowledges errored frames too; with the paper's
+// error-free channel the definitions coincide exactly.
 type Result struct {
 	Inputs Inputs
 
@@ -129,6 +158,10 @@ type Result struct {
 	CollidedFrames int64
 	// CollisionEvents is the number of collision busy-periods.
 	CollisionEvents int64
+	// FrameErrors is the number of frames lost to channel errors —
+	// single-transmitter busy periods whose frame the channel corrupted
+	// (always 0 with the paper's error-free channel).
+	FrameErrors int64
 	// IdleSlots is the number of empty contention slots.
 	IdleSlots int64
 	// Elapsed is the simulated time actually consumed (µs); it may
@@ -147,14 +180,20 @@ type Result struct {
 type StationStats struct {
 	Successes int64
 	Collided  int64
+	// Errored counts frames this station lost to channel errors (no
+	// collision: the station transmitted alone and the channel corrupted
+	// the frame).
+	Errored   int64
 	Attempts  int64
 	Deferrals int64
 	Redraws   int64
 }
 
 // Acked returns the acknowledged-frame counter as the INT6300 firmware
-// reports it (collided frames included).
-func (s StationStats) Acked() int64 { return s.Successes + s.Collided }
+// reports it: collided and channel-errored frames are included, because
+// the destination decodes the robust preamble and acknowledges them
+// with an all-blocks-errored indication.
+func (s StationStats) Acked() int64 { return s.Successes + s.Collided + s.Errored }
 
 // Observer receives the simulator's events. All callbacks run on the
 // simulation goroutine; implementations must not retain the snapshot
@@ -177,6 +216,11 @@ const (
 	Success
 	// Collision: two or more stations transmitted; Tc elapses.
 	Collision
+	// FrameError: exactly one station transmitted, but the channel
+	// corrupted the frame (Inputs.ErrorProb); the medium is busy for Ts
+	// like a success, the transmission fails like a collision. Never
+	// seen with the paper's error-free channel.
+	FrameError
 )
 
 // String names the slot kind.
@@ -188,6 +232,8 @@ func (k SlotKind) String() string {
 		return "success"
 	case Collision:
 		return "collision"
+	case FrameError:
+		return "error"
 	default:
 		return fmt.Sprintf("SlotKind(%d)", int(k))
 	}
@@ -204,12 +250,19 @@ func (k SlotKind) String() string {
 type Engine struct {
 	in       Inputs
 	stations []*backoff.Station
+	errSrc   []*rng.Source // per-station channel-error streams (nil entries: error-free)
 	intents  []backoff.Action
 	txs      []int
 	txMask   []bool // scratch: transmitter membership during a collision
 	snaps    []backoff.Snapshot
 	observer Observer
 }
+
+// errStreamBase labels the per-station channel-error streams split off
+// the root rng. It is far above any realistic station index, so error
+// streams never collide with the backoff streams Split(i) and enabling
+// errors leaves every backoff draw untouched.
+const errStreamBase = uint64(1) << 32
 
 // NewEngine builds a 1901 engine from validated inputs.
 func NewEngine(in Inputs) (*Engine, error) {
@@ -227,6 +280,14 @@ func NewEngine(in Inputs) (*Engine, error) {
 	}
 	for i := range e.stations {
 		e.stations[i] = backoff.NewStation(in.stationParams(i), root.Split(uint64(i)))
+	}
+	if in.ErrorProb != nil {
+		e.errSrc = make([]*rng.Source, in.N)
+		for i, p := range in.ErrorProb {
+			if p > 0 {
+				e.errSrc[i] = root.Split(errStreamBase + uint64(i))
+			}
+		}
 	}
 	return e, nil
 }
@@ -261,6 +322,14 @@ func (e *Engine) Run() Result {
 			kind = Idle
 		case 1:
 			kind = Success
+			// Channel error: the lone transmission is lost without a
+			// collision. Decided before the observer fires so traces see
+			// the true slot kind; the draw comes from a dedicated
+			// stream, never the backoff streams, and only
+			// single-transmitter events consume it.
+			if w := e.txs[0]; e.errSrc != nil && e.errSrc[w] != nil && e.errSrc[w].Bernoulli(e.in.ErrorProb[w]) {
+				kind = FrameError
+			}
 		default:
 			kind = Collision
 		}
@@ -295,6 +364,20 @@ func (e *Engine) Run() Result {
 			}
 			t += e.in.Ts
 
+		case FrameError:
+			// The medium is busy for Ts either way (the frame was sent;
+			// the loss happens at the receiver), but the transmitter's
+			// ACK carries the all-blocks-errored indication, so its
+			// backoff advances to the next stage like a failure.
+			w := e.txs[0]
+			res.FrameErrors++
+			res.PerStation[w].Errored++
+			res.PerStation[w].Attempts++
+			for i, s := range e.stations {
+				e.intents[i] = s.AfterBusy(i == w, false)
+			}
+			t += e.in.Ts
+
 		case Collision:
 			res.CollisionEvents++
 			res.CollidedFrames += int64(len(e.txs))
@@ -318,7 +401,7 @@ func (e *Engine) Run() Result {
 		res.PerStation[i].Deferrals = s.Deferrals()
 		res.PerStation[i].Redraws = s.Redraws()
 	}
-	attempts := res.CollidedFrames + res.Successes
+	attempts := res.CollidedFrames + res.Successes + res.FrameErrors
 	if attempts > 0 {
 		res.CollisionProbability = float64(res.CollidedFrames) / float64(attempts)
 	}

@@ -149,14 +149,11 @@ func New(opts Options) (*Testbed, error) {
 	}
 
 	root := rng.New(opts.Seed)
-	nw := mac.NewNetwork()
-	if opts.ErrorModel != nil {
-		nw.SetErrorModel(opts.ErrorModel)
-	}
-	if opts.BeaconPeriodMicros > 0 {
-		nw.EnableBeacons(opts.BeaconPeriodMicros)
-	}
-	nw.RecordDelays(opts.RecordDelays)
+	nw := mac.NewNetworkCfg(mac.Config{
+		ErrorModel:         opts.ErrorModel,
+		BeaconPeriodMicros: opts.BeaconPeriodMicros,
+		RecordDelays:       opts.RecordDelays,
+	})
 
 	dstStation := mac.NewStation("D", DstTEI, DstAddr, root.Split(0))
 	nw.Attach(dstStation)

@@ -36,6 +36,9 @@ func (r *SimRecorder) OnSlot(t float64, kind sim.SlotKind, txs []int, _ []backof
 	case sim.Collision:
 		rec.Kind = KindCollision
 		rec.Duration = r.Tc
+	case sim.FrameError:
+		rec.Kind = KindError
+		rec.Duration = r.Ts
 	}
 	rec.Transmitters = make([]uint16, len(txs))
 	for i, tx := range txs {
@@ -67,6 +70,8 @@ func (r *MACRecorder) OnEvent(ev mac.Event) {
 		rec.Kind = KindQuiet
 	case mac.EventBeacon:
 		rec.Kind = KindBeacon
+	case mac.EventError:
+		rec.Kind = KindError
 	}
 	rec.Transmitters = make([]uint16, len(ev.Transmitters))
 	for i, tei := range ev.Transmitters {

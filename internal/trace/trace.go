@@ -32,6 +32,9 @@ const (
 	KindQuiet
 	// KindBeacon is a central-coordinator beacon busy period.
 	KindBeacon
+	// KindError is a single-transmitter busy period lost to a channel
+	// error (frame loss without collision).
+	KindError
 )
 
 // String names the kind.
@@ -47,6 +50,8 @@ func (k Kind) String() string {
 		return "quiet"
 	case KindBeacon:
 		return "beacon"
+	case KindError:
+		return "error"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
