@@ -1,0 +1,33 @@
+# Developer entry points. CI runs the same targets so local runs and
+# the workflow cannot drift.
+
+BENCH     ?= .
+BENCHTIME ?= 1s
+COUNT     ?= 3
+
+.PHONY: build test race bench fuzz-smoke
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# bench captures the benchmark baseline: every Benchmark* with
+# -benchmem, COUNT runs each (benchstat wants repeated samples), parsed
+# into BENCH_results.json with the raw text embedded. Tune time/count
+# via `make bench BENCHTIME=1x COUNT=1` for a quick smoke.
+bench:
+	go test -run=XXX -bench='$(BENCH)' -benchmem -benchtime=$(BENCHTIME) -count=$(COUNT) ./... > bench.out
+	go run ./cmd/benchjson < bench.out > BENCH_results.json
+	@rm -f bench.out
+	@echo "wrote BENCH_results.json"
+
+# fuzz-smoke gives each scenario fuzzer a short budget — the CI
+# regression net; long exploratory runs raise -fuzztime locally.
+fuzz-smoke:
+	go test ./internal/scenario -run=XXX -fuzz=FuzzSpecDecode -fuzztime=15s
+	go test ./internal/scenario -run=XXX -fuzz=FuzzNormalizeIdempotent -fuzztime=15s

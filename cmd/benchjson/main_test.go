@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkMACNetwork-4   	    2882	    407944 ns/op	   12345 B/op	      67 allocs/op
+BenchmarkEngineIdleFastForward-4   	   61230	     19607 ns/op	        51.03 simulated-µs/ns	       0 B/op	       0 allocs/op
+BenchmarkNoMem   	     100	      1000 ns/op
+PASS
+ok  	repro	3.456s
+`
+
+func TestConvert(t *testing.T) {
+	var out bytes.Buffer
+	if err := Convert(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(out.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Errorf("header = %+v", f)
+	}
+	if len(f.Runs) != 3 {
+		t.Fatalf("parsed %d runs, want 3", len(f.Runs))
+	}
+	r := f.Runs[0]
+	if r.Name != "BenchmarkMACNetwork" || r.Procs != 4 || r.Pkg != "repro" ||
+		r.Iterations != 2882 || r.NsPerOp != 407944 || r.BPerOp != 12345 || r.AllocsPerOp != 67 {
+		t.Errorf("run 0 = %+v", r)
+	}
+	if got := f.Runs[1].Metrics["simulated-µs/ns"]; got != 51.03 {
+		t.Errorf("custom metric = %v, want 51.03", got)
+	}
+	// Without -benchmem the memory columns are absent, not zero.
+	if f.Runs[2].BPerOp != -1 || f.Runs[2].AllocsPerOp != -1 {
+		t.Errorf("run without -benchmem = %+v", f.Runs[2])
+	}
+	// A benchmark name with no GOMAXPROCS suffix keeps procs=1.
+	if f.Runs[2].Procs != 1 || f.Runs[2].Name != "BenchmarkNoMem" {
+		t.Errorf("suffixless run = %+v", f.Runs[2])
+	}
+	// The raw text survives verbatim for benchstat.
+	if f.Raw != sample {
+		t.Error("raw text is not verbatim input")
+	}
+}
+
+func TestConvertRejectsEmpty(t *testing.T) {
+	var out bytes.Buffer
+	if err := Convert(strings.NewReader("PASS\nok  repro 0.1s\n"), &out); err == nil {
+		t.Fatal("no benchmark lines must be an error, not an empty baseline")
+	}
+}

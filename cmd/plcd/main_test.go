@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/device"
+	"repro/internal/testbed"
+)
+
+// TestPlcdSmoke boots the daemon on a loopback port, performs one
+// management-MME probe against a station, and checks it shuts down
+// cleanly on SIGTERM. The deeper protocol behaviour is covered by
+// internal/device and the top-level CLI pipeline test; this pins the
+// binary itself: flag parsing, startup banner, signal handling, exit
+// code.
+func TestPlcdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "plcd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-n", "2", "-listen", "127.0.0.1:0", "-seed", "3")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := false
+	defer func() {
+		if !exited {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// Scrape the ephemeral address from the banner and keep draining so
+	// the daemon never blocks on stdout.
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	addrc := make(chan string, 1)
+	drained := make(chan struct{})
+	var tail strings.Builder
+	go func() {
+		defer close(drained)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			tail.WriteString(line + "\n")
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case <-time.After(30 * time.Second):
+		t.Fatal("plcd never printed its address")
+	}
+
+	// One probe: fetch the (freshly booted, hence zero) tx counters of
+	// station 1 — a full request/response round trip through the UDP
+	// framing and MME codec.
+	cli, err := device.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	pri, err := config.ParsePriority("CA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters, err := cli.FetchLink(testbed.StationAddr(0), testbed.DstAddr, pri)
+	if err != nil {
+		t.Fatalf("fetch station 1 counters: %v", err)
+	}
+	if counters.Acked != 0 || counters.Collided != 0 {
+		t.Errorf("counters before any run: %+v, want zeros", counters)
+	}
+
+	// Clean shutdown: SIGTERM → exit code 0 and the shutdown banner.
+	// Wait for the drain goroutine's EOF before cmd.Wait so the final
+	// output lines land in tail and the pipe is fully read.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("plcd stdout never reached EOF after SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("plcd did not exit cleanly: %v", err)
+	}
+	exited = true
+	if !strings.Contains(tail.String(), "shutting down") {
+		t.Errorf("missing shutdown banner in output:\n%s", tail.String())
+	}
+}

@@ -1,0 +1,88 @@
+// Command plcsrv is the scenario-serving daemon: a long-lived HTTP/JSON
+// service that accepts declarative scenario submissions (the same JSON
+// schema as `sim1901 -scenario`), runs them on a bounded asynchronous
+// job queue, and answers repeated identical submissions from a
+// content-addressed result cache — bit-identically to the first
+// computed result, and to the CLI on the same spec.
+//
+// Typical session:
+//
+//	plcsrv -listen 127.0.0.1:8277 -cache-dir /var/cache/plcsrv &
+//	curl -s -X POST 127.0.0.1:8277/v1/jobs \
+//	     -d "{\"spec\": $(cat examples/scenarios/heterogeneous.json), \"reps\": 10}"
+//	curl -s 127.0.0.1:8277/v1/jobs/j1/events        # per-replication progress
+//	curl -s 127.0.0.1:8277/v1/jobs/j1/result        # aggregated JSON
+//	curl -s "127.0.0.1:8277/v1/jobs/j1/result?format=text"  # sim1901-identical text
+//
+// See docs/SERVING.md for the full API and the determinism guarantee.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:8277", "TCP address to serve HTTP on")
+		workers    = flag.Int("workers", 1, "jobs run concurrently")
+		repWorkers = flag.Int("rep-workers", 0, "worker-pool width each job fans its replications across (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue", 64, "pending-job queue depth (submissions beyond it get 503)")
+		cacheSize  = flag.Int("cache", 128, "in-memory result-cache entries (LRU)")
+		cacheBytes = flag.Int("cache-bytes", 0, "in-memory result-cache byte budget (0 = 256 MiB)")
+		cacheDir   = flag.String("cache-dir", "", "directory to persist results to (empty = memory only)")
+		maxReps    = flag.Int("max-reps", 10000, "maximum replications a single submission may request")
+		maxJobs    = flag.Int("max-jobs", 1024, "job-registry bound; oldest finished jobs are evicted beyond it")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		QueueDepth:   *queueDepth,
+		Workers:      *workers,
+		RepWorkers:   *repWorkers,
+		CacheEntries: *cacheSize,
+		CacheBytes:   *cacheBytes,
+		CacheDir:     *cacheDir,
+		MaxReps:      *maxReps,
+		MaxJobs:      *maxJobs,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plcsrv:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("plcsrv: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("plcsrv: %v, shutting down\n", s)
+		// Cancel jobs first so in-flight event streams terminate, then
+		// drain the HTTP side.
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		hs.Shutdown(ctx)
+		cancel()
+		<-errc
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "plcsrv:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestPlcsrvSmoke boots the serving daemon on a loopback port, submits
+// one tiny scenario over HTTP, waits for a well-formed result, and
+// checks clean SIGTERM shutdown. The queue/cache semantics live in
+// internal/serve's tests; this pins the binary: flags, banner, wiring,
+// signal handling, exit code.
+func TestPlcsrvSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "plcsrv")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-queue", "4")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := false
+	defer func() {
+		if !exited {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	addrc := make(chan string, 1)
+	drained := make(chan struct{})
+	var tail strings.Builder
+	go func() {
+		defer close(drained)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			tail.WriteString(line + "\n")
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case <-time.After(30 * time.Second):
+		t.Fatal("plcsrv never printed its address")
+	}
+	base := "http://" + addr
+
+	// Submit one tiny scenario.
+	body := `{"spec":{"name":"smoke","sim_time_us":1e6,"stations":[{"count":2}]},"reps":2}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub serve.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: code=%d resp=%+v", resp.StatusCode, sub)
+	}
+
+	// Poll to completion and fetch the result.
+	deadline := time.Now().Add(30 * time.Second)
+	var st serve.Status
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != serve.StateDone {
+		t.Fatalf("job state = %+v", st)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/result", base, sub.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res serve.Result
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("result does not parse: %v", err)
+	}
+	if res.Key != sub.Key || res.Report == nil || len(res.Report.Points) != 1 || res.Text == "" {
+		t.Fatalf("malformed result: key=%q report=%v", res.Key, res.Report)
+	}
+
+	// Clean shutdown. Wait for the drain goroutine's EOF before
+	// cmd.Wait so the final output lines land in tail and the pipe is
+	// fully read.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("plcsrv stdout never reached EOF after SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("plcsrv did not exit cleanly: %v", err)
+	}
+	exited = true
+	if !strings.Contains(tail.String(), "shutting down") {
+		t.Errorf("missing shutdown banner in output:\n%s", tail.String())
+	}
+}

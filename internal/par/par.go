@@ -12,6 +12,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,16 @@ func MapDefault[T, R any](items []T, fn func(i int, item T) (R, error)) ([]R, er
 // must not depend on scheduling), and the error of the lowest-indexed
 // failing item is returned.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	return MapCtx(context.Background(), workers, items, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is cancelled,
+// no further items are started. In-flight items run to completion (fn
+// is never interrupted mid-item), unstarted items are charged ctx.Err(),
+// and the usual lowest-index error rule then makes MapCtx return either
+// a genuine fn error from an earlier index or ctx.Err(). A ctx that is
+// cancelled only after every item completed does not fail the call.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
 	if len(items) == 0 {
 		return nil, nil
 	}
@@ -60,6 +71,9 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 	out := make([]R, len(items))
 	if workers <= 1 || len(items) == 1 {
 		for i, item := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r, err := fn(i, item)
 			if err != nil {
 				return nil, err
@@ -80,6 +94,10 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 				i := int(next.Add(1)) - 1
 				if i >= len(items) {
 					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
 				}
 				out[i], errs[i] = fn(i, items[i])
 			}

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -101,5 +102,60 @@ func TestMapEmptyAndSingle(t *testing.T) {
 	out, err := Map(8, []int{42}, func(i, v int) (int, error) { return v + 1, nil })
 	if err != nil || len(out) != 1 || out[0] != 43 {
 		t.Errorf("single input: %v, %v", out, err)
+	}
+}
+
+// TestMapCtxCancellation covers the cooperative-cancellation contract:
+// unstarted items are skipped and ctx.Err() surfaces, in both the
+// serial and the parallel code path.
+func TestMapCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		_, err := MapCtx(ctx, workers, make([]struct{}, 64), func(i int, _ struct{}) (int, error) {
+			if ran.Add(1) == 2 {
+				cancel()
+			}
+			return i, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got == 64 {
+			t.Errorf("workers=%d: every item ran despite cancellation", workers)
+		}
+	}
+}
+
+// TestMapCtxCompletesBeforeCancel: a ctx cancelled only after the last
+// item finished must not fail the call.
+func TestMapCtxCompletesBeforeCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out, err := MapCtx(ctx, 4, []int{1, 2, 3}, func(i, v int) (int, error) { return v * v, nil })
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0] != 1 || out[1] != 4 || out[2] != 9 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+// TestMapCtxRealErrorWinsOverCancel: an fn error at a lower index beats
+// the cancellation error of later unstarted items.
+func TestMapCtxRealErrorWinsOverCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	_, err := MapCtx(ctx, 2, make([]struct{}, 32), func(i int, _ struct{}) (int, error) {
+		if i == 0 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom (index 0 outranks later ctx errors)", err)
 	}
 }

@@ -216,8 +216,8 @@ func buildMac(plan *MacPlan, seed uint64) *mac.Network {
 // fixed, engine-determined order so that aggregation across
 // replications — and rendering — is deterministic.
 type Metric struct {
-	Name  string
-	Value float64
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
 }
 
 // RunOnce executes one replication of a compiled point with the given

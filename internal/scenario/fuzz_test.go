@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// seedFromExamples feeds every shipped scenario file into the corpus,
+// so the fuzzers start from the full grammar the repository actually
+// uses (sweeps, priorities, Poisson traffic, channel errors, beacons).
+func seedFromExamples(f *testing.F) {
+	paths, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no example scenarios found to seed the corpus")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Hand-picked hostile shapes beyond the examples.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","sim_time_us":1e308,"stations":[{"count":1}]}`))
+	f.Add([]byte(`{"name":"x","sim_time_us":1,"sweep_n":[0],"stations":[{"count":0}]}`))
+	f.Add([]byte(`{"name":"x","sim_time_us":1,"stations":[{"count":1,"cw":[1],"dc":[0],"error_prob":1}]}`))
+}
+
+// FuzzSpecDecode asserts the decode→normalize→encode→decode round trip
+// on arbitrary input: whenever a byte string parses and normalizes, the
+// normalized form must re-encode to JSON that parses back to the very
+// same normalized spec, and the canonical fingerprint must be stable
+// across that trip (the serving cache's correctness depends on it).
+func FuzzSpecDecode(f *testing.F) {
+	seedFromExamples(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // not a spec; rejection is the correct outcome
+		}
+		norm, err := s.Normalized()
+		if err != nil {
+			return // invalid spec; rejection is the correct outcome
+		}
+		enc, err := norm.Marshal()
+		if err != nil {
+			t.Fatalf("normalized spec does not marshal: %v", err)
+		}
+		back, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-encoded normalized spec does not parse: %v\n%s", err, enc)
+		}
+		norm2, err := back.Normalized()
+		if err != nil {
+			t.Fatalf("re-decoded normalized spec does not normalize: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(norm, norm2) {
+			t.Fatalf("round trip not lossless:\nfirst:  %+v\nsecond: %+v", norm, norm2)
+		}
+		f1, err := Fingerprint(s, 3)
+		if err != nil {
+			t.Fatalf("valid spec does not fingerprint: %v", err)
+		}
+		f2, err := Fingerprint(norm, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f1 != f2 {
+			t.Fatalf("fingerprint unstable across normalization: %s vs %s", f1, f2)
+		}
+	})
+}
+
+// FuzzNormalizeIdempotent asserts that Normalized never panics on any
+// parseable input, and that it is idempotent: normalizing a normalized
+// spec is the identity.
+func FuzzNormalizeIdempotent(f *testing.F) {
+	seedFromExamples(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Validate and Normalized must never panic, whatever the field
+		// values that survived decoding (NaN cannot arrive via JSON, but
+		// negative counts, huge floats and absurd vectors can).
+		norm, err := s.Normalized()
+		if err != nil {
+			return
+		}
+		again, err := norm.Normalized()
+		if err != nil {
+			t.Fatalf("normalized spec fails to re-normalize: %v\n%+v", err, norm)
+		}
+		if !reflect.DeepEqual(norm, again) {
+			t.Fatalf("Normalized is not idempotent:\nonce:  %+v\ntwice: %+v", norm, again)
+		}
+	})
+}

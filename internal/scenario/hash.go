@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Canonical returns the spec's canonical byte form: the compact JSON
+// encoding of the normalized spec. Normalization makes every default
+// explicit (engine resolved, seed and policy filled, timing expanded,
+// group parameters written out), so two specs that describe the same
+// operating regime — whether or not they spell out the defaults —
+// canonicalize to the same bytes. encoding/json emits struct fields in
+// declaration order with a fixed float format, so the encoding is
+// deterministic across processes.
+func (s Spec) Canonical() ([]byte, error) {
+	norm, err := s.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(norm)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: canonical: %w", s.Name, err)
+	}
+	return data, nil
+}
+
+// Fingerprint content-addresses a replication study: a SHA-256 over the
+// spec's canonical form plus the replication count, rendered as
+// "sha256:<hex>". The seed and seed policy are part of the normalized
+// spec, so the fingerprint pins everything that determines the study's
+// bit-exact outcome — equal fingerprints mean equal results, which is
+// what lets the serving layer answer repeated submissions from cache
+// and coalesce concurrent identical ones.
+func Fingerprint(s Spec, reps int) (string, error) {
+	if reps < 1 {
+		return "", fmt.Errorf("scenario %s: replications = %d must be ≥ 1", s.Name, reps)
+	}
+	canon, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(canon)
+	fmt.Fprintf(h, "\nreps=%d\n", reps)
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func hashSpec() Spec {
+	return Spec{
+		Name:          "hash-me",
+		SimTimeMicros: 1e6,
+		Stations:      []Group{{Count: 2}},
+	}
+}
+
+// TestFingerprintNormalizes: a spec with defaults spelled out and one
+// relying on them describe the same study, so they must share a
+// fingerprint — that equivalence is what makes the serving cache hit
+// on semantically identical submissions.
+func TestFingerprintNormalizes(t *testing.T) {
+	implicit := hashSpec()
+	explicit := implicit
+	explicit.Engine = EngineSim
+	explicit.Seed = 1
+	explicit.SeedPolicy = SeedSplit
+	explicit.TcMicros = 2920.64
+	explicit.TsMicros = 2542.64
+	explicit.FrameMicros = 2050
+	explicit.Stations = []Group{{
+		Count: 2, Priority: "CA1",
+		CW: []int{8, 16, 32, 64}, DC: []int{0, 1, 3, 15},
+		Traffic: &Traffic{Kind: TrafficSaturated},
+	}}
+
+	fi, err := Fingerprint(implicit, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := Fingerprint(explicit, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi != fe {
+		t.Errorf("defaults-implicit and defaults-explicit specs fingerprint differently:\n%s\n%s", fi, fe)
+	}
+}
+
+// TestFingerprintDiscriminates: anything that changes the study's
+// outcome must change the key.
+func TestFingerprintDiscriminates(t *testing.T) {
+	base, err := Fingerprint(hashSpec(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Spec){
+		"seed":        func(s *Spec) { s.Seed = 7 },
+		"seed policy": func(s *Spec) { s.SeedPolicy = SeedIncrement },
+		"duration":    func(s *Spec) { s.SimTimeMicros = 2e6 },
+		"count":       func(s *Spec) { s.Stations[0].Count = 3 },
+		"error prob":  func(s *Spec) { s.Stations[0].ErrorProb = 0.1 },
+	}
+	for what, mutate := range mutations {
+		s := hashSpec()
+		mutate(&s)
+		f, err := Fingerprint(s, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if f == base {
+			t.Errorf("changing %s did not change the fingerprint", what)
+		}
+	}
+	if f, _ := Fingerprint(hashSpec(), 6); f == base {
+		t.Error("changing reps did not change the fingerprint")
+	}
+	if _, err := Fingerprint(hashSpec(), 0); err == nil {
+		t.Error("reps=0 fingerprinted")
+	}
+	if _, err := Fingerprint(Spec{}, 5); err == nil {
+		t.Error("invalid spec fingerprinted")
+	}
+}
+
+// TestReplicationsOptsProgressAndEquivalence: the Options form must
+// report monotonic progress reaching total, and produce a report
+// bit-identical to plain Replications.
+func TestReplicationsOptsProgressAndEquivalence(t *testing.T) {
+	s := hashSpec()
+	s.SweepN = []int{1, 2}
+	c, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reps = 4
+	var calls []int
+	opt, err := ReplicationsOpts(c, reps, 3, Options{
+		Progress: func(done, total int) {
+			if total != 2*reps {
+				t.Errorf("total = %d, want %d", total, 2*reps)
+			}
+			calls = append(calls, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2*reps {
+		t.Fatalf("progress called %d times, want %d", len(calls), 2*reps)
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress not monotonic: %v", calls)
+		}
+	}
+
+	plain, err := Replications(c, reps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, opt) {
+		t.Errorf("ReplicationsOpts report differs from Replications:\n%+v\n%+v", plain, opt)
+	}
+}
+
+// TestReplicationsOptsCancel: a pre-cancelled context stops the run
+// and surfaces context.Canceled.
+func TestReplicationsOptsCancel(t *testing.T) {
+	c, err := Compile(hashSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = ReplicationsOpts(c, 8, 2, Options{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

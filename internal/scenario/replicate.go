@@ -1,9 +1,11 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/par"
 	"repro/internal/stats"
@@ -33,34 +35,49 @@ func RepSeed(policy string, base uint64, point, rep int) uint64 {
 	return mix(z + golden*uint64(rep+1))
 }
 
-// MetricSummary aggregates one metric across replications.
+// MetricSummary aggregates one metric across replications. The JSON
+// tags are part of the serving API (internal/serve marshals reports).
 type MetricSummary struct {
-	Name    string
-	Summary stats.Summary
+	Name    string        `json:"name"`
+	Summary stats.Summary `json:"summary"`
 }
 
 // PointReport is one sweep point's aggregated result.
 type PointReport struct {
 	// N is the total station count at this point.
-	N int
+	N int `json:"n"`
 	// Seeds lists each replication's derived seed, in replication order.
-	Seeds []uint64
+	Seeds []uint64 `json:"seeds"`
 	// Metrics aggregates each metric across the replications, in the
 	// engine's canonical metric order.
-	Metrics []MetricSummary
+	Metrics []MetricSummary `json:"metrics"`
 	// PerRep holds the raw per-replication metrics (replication-major),
 	// so callers can post-process beyond mean/CI.
-	PerRep [][]Metric
+	PerRep [][]Metric `json:"per_rep"`
 }
 
 // Report is the aggregated outcome of Replications.
 type Report struct {
 	// Spec is the normalized spec the run used.
-	Spec Spec
+	Spec Spec `json:"spec"`
 	// Reps is the replication count per point.
-	Reps int
+	Reps int `json:"reps"`
 	// Points holds one report per sweep point, in sweep order.
-	Points []PointReport
+	Points []PointReport `json:"points"`
+}
+
+// Options tunes a replication run beyond the required counts. The zero
+// value reproduces Replications exactly.
+type Options struct {
+	// Context, when non-nil, cancels the run cooperatively: replications
+	// already started finish, unstarted ones are skipped, and the run
+	// returns the context's error. A nil Context never cancels.
+	Context context.Context
+	// Progress, when non-nil, is called after every completed
+	// replication with the number finished so far and the total
+	// (points × reps). Calls are serialized, but — under a parallel
+	// pool — not necessarily in replication order; done is monotonic.
+	Progress func(done, total int)
 }
 
 // Replications runs reps independent-seed replications of every point
@@ -73,8 +90,20 @@ type Report struct {
 // collected in input order — so the report is bit-identical whatever
 // the worker count. workers ≤ 1 runs serially.
 func Replications(c *Compiled, reps, workers int) (*Report, error) {
+	return ReplicationsOpts(c, reps, workers, Options{})
+}
+
+// ReplicationsOpts is Replications with cancellation and per-replication
+// progress reporting — the form the serving layer drives. The report of
+// an uncancelled run is bit-identical to Replications on the same
+// inputs, whatever the worker count.
+func ReplicationsOpts(c *Compiled, reps, workers int, opts Options) (*Report, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("scenario %s: replications = %d must be ≥ 1", c.Spec.Name, reps)
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	type job struct {
 		point, rep int
@@ -86,8 +115,17 @@ func Replications(c *Compiled, reps, workers int) (*Report, error) {
 			jobs = append(jobs, job{pi, r, RepSeed(c.Spec.SeedPolicy, c.Spec.Seed, pi, r)})
 		}
 	}
-	results, err := par.Map(workers, jobs, func(_ int, j job) ([]Metric, error) {
-		return RunOnce(c.Points[j.point], j.seed)
+	var progressMu sync.Mutex
+	done := 0
+	results, err := par.MapCtx(ctx, workers, jobs, func(_ int, j job) ([]Metric, error) {
+		m, err := RunOnce(c.Points[j.point], j.seed)
+		if err == nil && opts.Progress != nil {
+			progressMu.Lock()
+			done++
+			opts.Progress(done, len(jobs))
+			progressMu.Unlock()
+		}
+		return m, err
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// entry is one cached result: the verbatim JSON bytes the /result
+// endpoint serves (bit-identical across hits) and the CLI-identical
+// text rendering.
+type entry struct {
+	key  string
+	json []byte
+	text string
+}
+
+// size is the entry's resident-memory charge against the byte budget.
+func (e entry) size() int { return len(e.json) + len(e.text) }
+
+// cache is a content-addressed LRU over computed results, optionally
+// persisted to a directory. The memory tier bounds both entry count
+// and total bytes (a report embeds raw per-replication metrics, so a
+// few large studies could otherwise pin far more memory than the
+// entry count suggests); the disk tier (when configured) is unbounded
+// and consulted on memory misses, so results survive restarts and LRU
+// eviction.
+type cache struct {
+	mu       sync.Mutex
+	max      int
+	maxBytes int
+	bytes    int
+	dir      string
+	ll       *list.List // front = most recently used; values are entry
+	items    map[string]*list.Element
+}
+
+func newCache(max, maxBytes int, dir string) *cache {
+	if dir != "" {
+		// Best-effort: a failed mkdir surfaces on the first put.
+		os.MkdirAll(dir, 0o755)
+	}
+	return &cache{max: max, maxBytes: maxBytes, dir: dir, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// get returns the entry for key, faulting it in from the disk tier on
+// a memory miss. disk reports whether the hit came from disk. The disk
+// read runs outside the cache lock, so slow I/O never stalls
+// concurrent memory-tier lookups.
+func (c *cache) get(key string) (e entry, disk, ok bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(entry)
+		c.mu.Unlock()
+		return e, false, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return entry{}, false, false
+	}
+	e, ok = c.loadDisk(key)
+	if !ok {
+		return entry{}, false, false
+	}
+	c.mu.Lock()
+	c.insertLocked(e)
+	c.mu.Unlock()
+	return e, true, true
+}
+
+// put stores a computed entry in both tiers. Like get's disk fault,
+// the disk write runs outside c.mu so persistence I/O never stalls
+// concurrent memory-tier lookups.
+func (c *cache) put(e entry) {
+	c.mu.Lock()
+	c.insertLocked(e)
+	c.mu.Unlock()
+	if c.dir != "" {
+		c.storeDisk(e)
+	}
+}
+
+// insertLocked adds e to the memory tier, evicting LRU entries while
+// either budget (count or bytes) is exceeded — but always keeping the
+// newest entry, so even an oversized result serves its immediate
+// resubmissions. A concurrent insert of the same key (two goroutines
+// faulting the same file in) collapses to a refresh. c.mu must be
+// held.
+func (c *cache) insertLocked(e entry) {
+	if el, ok := c.items[e.key]; ok {
+		c.ll.MoveToFront(el)
+		c.bytes += e.size() - el.Value.(entry).size()
+		el.Value = e
+		return
+	}
+	c.items[e.key] = c.ll.PushFront(e)
+	c.bytes += e.size()
+	for c.ll.Len() > 1 && (c.ll.Len() > c.max || c.bytes > c.maxBytes) {
+		el := c.ll.Back()
+		old := el.Value.(entry)
+		delete(c.items, old.key)
+		c.bytes -= old.size()
+		c.ll.Remove(el)
+	}
+}
+
+// path maps a fingerprint to its persistence file: the hex digest with
+// the algorithm prefix stripped (fingerprints are "sha256:<hex>", and
+// the hex alone is filesystem-safe).
+func (c *cache) path(key string) string {
+	name := strings.TrimPrefix(key, "sha256:")
+	return filepath.Join(c.dir, name+".json")
+}
+
+// loadDisk reads and verifies one persisted result. A file that does
+// not parse or whose embedded key disagrees is ignored (treated as a
+// miss), never trusted.
+func (c *cache) loadDisk(key string) (entry, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return entry{}, false
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil || res.Key != key {
+		return entry{}, false
+	}
+	return entry{key: key, json: data, text: res.Text}, true
+}
+
+// storeDisk persists one result atomically (temp file + rename), so a
+// crashed write can never leave a half-written result that a later
+// lookup would serve.
+func (c *cache) storeDisk(e entry) {
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return // persistence is best-effort; the memory tier holds the result
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(e.json)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(e.key)); err != nil {
+		os.Remove(name)
+	}
+}

@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/scenario"
+)
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	// Spec is the scenario to run (same schema as the files under
+	// examples/scenarios/; unknown fields are rejected).
+	Spec json.RawMessage `json:"spec"`
+	// Reps is the replication count per sweep point (default 10, the
+	// CLI default).
+	Reps int `json:"reps,omitempty"`
+}
+
+// SubmitResponse answers POST /v1/jobs.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State State  `json:"state"`
+	// Cached: answered from the result cache, job is already done.
+	Cached bool `json:"cached"`
+	// Coalesced: attached to an identical queued/running job.
+	Coalesced bool `json:"coalesced"`
+}
+
+// StatsResponse answers GET /v1/stats.
+type StatsResponse struct {
+	Counters
+	CacheEntries int `json:"cache_entries"`
+}
+
+// Event is one line of the GET /v1/jobs/{id}/events NDJSON stream.
+type Event struct {
+	// Event is "state" (job changed lifecycle stage) or "progress"
+	// (one more replication finished).
+	Event string `json:"event"`
+	State State  `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	// Error is set on terminal failed/cancelled states.
+	Error string `json:"error,omitempty"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/jobs             submit a study (SubmitRequest)
+//	GET    /v1/jobs             list job statuses in submission order
+//	GET    /v1/jobs/{id}        one job's status
+//	GET    /v1/jobs/{id}/result final result (JSON; ?format=text for
+//	                            the CLI-identical text rendering)
+//	GET    /v1/jobs/{id}/events NDJSON stream of state/progress events
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/stats            counters + cache occupancy
+//	GET    /healthz             liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeJSON renders v with a trailing newline.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Should be unreachable: every payload type here marshals.
+		fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode request: %w", err))
+		return
+	}
+	if len(req.Spec) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: missing \"spec\""))
+		return
+	}
+	spec, err := scenario.Parse(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	reps := req.Reps
+	if reps == 0 {
+		reps = 10
+	}
+	j, cached, coalesced, err := s.Submit(spec, reps)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusAccepted
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, SubmitResponse{
+		ID: j.ID(), Key: j.Key(), State: j.Status().State,
+		Cached: cached, Coalesced: coalesced,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// job resolves {id} or writes a 404.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	switch st.State {
+	case StateDone:
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("serve: job %s failed: %s", st.ID, st.Error))
+		return
+	case StateCancelled:
+		writeError(w, http.StatusGone, fmt.Errorf("serve: job %s was cancelled", st.ID))
+		return
+	default:
+		// Not finished; tell the client where it stands.
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	data, text, _ := j.Result()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(text))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	c, entries := s.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{Counters: c, CacheEntries: entries})
+}
+
+// handleEvents streams the job's lifecycle as NDJSON, one Event per
+// line: an initial "state" snapshot, a "progress" line per completed
+// replication, a "state" line on every transition, ending with the
+// terminal state. The stream also ends when the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(e Event) bool {
+		if err := enc.Encode(e); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for e := range j.events(r.Context()) {
+		if !emit(e) {
+			return
+		}
+	}
+}
+
+// events returns a channel of state/progress events, starting with a
+// snapshot and closed after the terminal event (or when ctx ends). A
+// slow consumer blocks the sender goroutine, not the job: the job only
+// broadcasts on its cond; the goroutine re-snapshots when it wakes, so
+// missed intermediate progress values collapse into the latest one.
+func (j *Job) events(ctx context.Context) <-chan Event {
+	ch := make(chan Event)
+	go func() {
+		defer close(ch)
+		stop := context.AfterFunc(ctx, func() {
+			j.mu.Lock()
+			j.cond.Broadcast()
+			j.mu.Unlock()
+		})
+		defer stop()
+
+		var last *Event
+		for {
+			j.mu.Lock()
+			for ctx.Err() == nil && last != nil && j.state == last.State && j.done == last.Done {
+				j.cond.Wait()
+			}
+			st := j.statusLocked()
+			j.mu.Unlock()
+			if ctx.Err() != nil {
+				return
+			}
+			e := Event{Event: "progress", State: st.State, Done: st.Done, Total: st.Total, Error: st.Error}
+			if last == nil || st.State != last.State {
+				e.Event = "state"
+			}
+			select {
+			case ch <- e:
+			case <-ctx.Done():
+				return
+			}
+			last = &e
+			if e.State.Terminal() {
+				return
+			}
+		}
+	}()
+	return ch
+}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// State is a job's lifecycle stage.
+type State string
+
+// Job states. Queued and Running are transient; Done, Failed and
+// Cancelled are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Result is the JSON a finished job serves: the aggregated replication
+// report plus the exact plain-text rendering the sim1901 CLI would
+// print for the same spec. The text is part of the payload so the
+// bit-identical guarantee is checkable end to end: cached, coalesced,
+// freshly computed and CLI output all compare byte-for-byte.
+type Result struct {
+	// Key is the study's content address (scenario.Fingerprint).
+	Key string `json:"key"`
+	// Report is the aggregated outcome: normalized spec, replication
+	// count, per-point seeds, metric summaries and raw per-rep metrics.
+	Report *scenario.Report `json:"report"`
+	// Text is the scenario.Report.Write rendering of Report.
+	Text string `json:"text"`
+}
+
+// encodeResult renders a report into a cache entry: the verbatim JSON
+// bytes served for the result and the CLI-identical text rendering.
+func encodeResult(key string, rep *scenario.Report) (entry, error) {
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		return entry{}, fmt.Errorf("serve: render report: %w", err)
+	}
+	res := Result{Key: key, Report: rep, Text: buf.String()}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return entry{}, fmt.Errorf("serve: marshal result: %w", err)
+	}
+	return entry{key: key, json: append(data, '\n'), text: buf.String()}, nil
+}
+
+// Status is a point-in-time job snapshot (the /v1/jobs responses).
+type Status struct {
+	ID       string `json:"id"`
+	Key      string `json:"key"`
+	Scenario string `json:"scenario"`
+	State    State  `json:"state"`
+	Reps     int    `json:"reps"`
+	// Done and Total count completed vs. scheduled replications
+	// (points × reps); Total is 0 until the job starts.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Cached marks a job answered from the result cache without
+	// running.
+	Cached bool `json:"cached,omitempty"`
+	// Error carries the failure or cancellation cause in terminal
+	// states.
+	Error string `json:"error,omitempty"`
+}
+
+// Job is one admitted study. All mutable fields are guarded by mu;
+// cond broadcasts on every mutation so streamers can follow along.
+type Job struct {
+	id       string
+	key      string
+	compiled *scenario.Compiled
+	reps     int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	state  State
+	done   int
+	total  int
+	cached bool
+	result []byte // verbatim response bytes of /result (terminal Done)
+	text   string // CLI-identical text rendering (terminal Done)
+	errMsg string
+	cancel context.CancelFunc
+}
+
+func newJob(id, key string, c *scenario.Compiled, reps int) *Job {
+	j := &Job{id: id, key: key, compiled: c, reps: reps, state: StateQueued}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// ID returns the job's server-unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the study's content address.
+func (j *Job) Key() string { return j.key }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+func (j *Job) statusLocked() Status {
+	return Status{
+		ID:       j.id,
+		Key:      j.key,
+		Scenario: j.compiled.Spec.Name,
+		State:    j.state,
+		Reps:     j.reps,
+		Done:     j.done,
+		Total:    j.total,
+		Cached:   j.cached,
+		Error:    j.errMsg,
+	}
+}
+
+// Result returns the verbatim response bytes and text rendering of a
+// Done job (ok=false otherwise).
+func (j *Job) Result() (jsonBytes []byte, text string, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, "", false
+	}
+	return j.result, j.text, true
+}
+
+// Cancel requests cancellation: a queued job will be skipped by the
+// worker, a running job's context is cancelled (in-flight replications
+// finish, the rest are skipped). Terminal jobs are unaffected. It
+// returns the state observed at the time of the call.
+func (j *Job) Cancel() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.errMsg = "cancelled while queued"
+		j.cond.Broadcast()
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.state
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done,
+// and returns the job's state at that moment.
+func (j *Job) Wait(ctx context.Context) State {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for !j.state.Terminal() && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	return j.state
+}
+
+// start transitions Queued → Running and arms the job's cancel
+// context. ok=false means the job was cancelled while queued and must
+// not run.
+func (j *Job) start(parent context.Context) (ctx context.Context, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return nil, false
+	}
+	ctx, j.cancel = context.WithCancel(parent)
+	j.state = StateRunning
+	j.total = len(j.compiled.Points) * j.reps
+	j.cond.Broadcast()
+	return ctx, true
+}
+
+// setProgress records one more completed replication (the
+// scenario.Options.Progress callback).
+func (j *Job) setProgress(done, total int) {
+	j.mu.Lock()
+	j.done, j.total = done, total
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state.
+func (j *Job) finish(state State, ent *entry, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	if ent != nil {
+		j.result, j.text = ent.json, ent.text
+		j.done = j.total
+	}
+	if j.cancel != nil {
+		j.cancel()
+		j.cancel = nil
+	}
+	j.cond.Broadcast()
+}
+
+// completeFromCache marks a fresh job Done with a cached result.
+func (j *Job) completeFromCache(ent entry) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateDone
+	j.cached = true
+	j.result, j.text = ent.json, ent.text
+	j.total = len(j.compiled.Points) * j.reps
+	j.done = j.total
+	j.cond.Broadcast()
+}

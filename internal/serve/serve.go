@@ -1,0 +1,356 @@
+// Package serve turns the one-shot scenario runner into a long-lived
+// service: an HTTP/JSON front end that accepts scenario.Spec
+// submissions, runs them on a bounded asynchronous job queue backed by
+// the deterministic internal/par worker pool, and exposes job status,
+// streamed per-replication progress, and final aggregated results.
+//
+// Three properties make it safe to put in front of heavy traffic:
+//
+//   - Content addressing. A submission is keyed by
+//     scenario.Fingerprint — a SHA-256 over the canonical (normalized)
+//     spec plus the replication count. Equal keys mean bit-identical
+//     results, so a repeated submission is answered from an in-memory
+//     LRU cache (optionally persisted to disk) without re-simulation,
+//     byte-for-byte identical to the first computed response.
+//
+//   - Coalescing. Concurrent submissions of the same key share one
+//     queued job instead of queueing duplicates; every submitter polls
+//     or streams the same job ID.
+//
+//   - Determinism. Jobs fan their replications across the par pool,
+//     which returns results in input order whatever the worker count,
+//     so a served result is bit-identical to the sim1901/plcbench CLI
+//     on the same spec. Cached, coalesced and freshly computed
+//     responses are indistinguishable.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// default chosen for a small deployment.
+type Config struct {
+	// QueueDepth bounds the number of jobs waiting to run; submissions
+	// beyond it are rejected with ErrQueueFull (backpressure, not
+	// unbounded memory). Default 64.
+	QueueDepth int
+	// Workers is the number of jobs run concurrently. Default 1: one
+	// job at a time, each fanning its replications across RepWorkers.
+	Workers int
+	// RepWorkers is the par pool width each job fans its replications
+	// across. Default GOMAXPROCS.
+	RepWorkers int
+	// CacheEntries bounds the in-memory result cache's entry count.
+	// Default 128.
+	CacheEntries int
+	// CacheBytes bounds the in-memory result cache's total resident
+	// bytes (results embed raw per-replication metrics, so entries vary
+	// widely in size). Default 256 MiB.
+	CacheBytes int
+	// CacheDir, when non-empty, persists every computed result to
+	// <CacheDir>/<hash>.json and consults it on memory misses, so a
+	// restarted server still answers known studies without
+	// re-simulation.
+	CacheDir string
+	// MaxReps bounds the replication count a single submission may
+	// request. Default 10000.
+	MaxReps int
+	// MaxJobs bounds the job registry: once exceeded, the oldest
+	// *terminal* jobs are evicted (queued and running jobs are never
+	// touched), so a long-lived server's memory does not grow with its
+	// submission count. Evicted IDs answer 404; their results live on
+	// in the cache. Default 1024.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.RepWorkers <= 0 {
+		c.RepWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxReps <= 0 {
+		c.MaxReps = 10000
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// ErrQueueFull rejects a submission when the pending queue is at
+// QueueDepth. Clients should back off and retry.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrClosed rejects submissions after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Counters are the server's monotonic event counts, exposed at
+// /v1/stats.
+type Counters struct {
+	// Submissions counts every accepted POST (including cached and
+	// coalesced answers).
+	Submissions int64 `json:"submissions"`
+	// CacheHits counts submissions answered from the in-memory cache;
+	// DiskCacheHits the subset that was faulted in from CacheDir.
+	CacheHits     int64 `json:"cache_hits"`
+	DiskCacheHits int64 `json:"disk_cache_hits"`
+	// Coalesced counts submissions that attached to an already queued
+	// or running identical job.
+	Coalesced int64 `json:"coalesced"`
+	// Rejected counts submissions refused with ErrQueueFull.
+	Rejected int64 `json:"rejected"`
+	// Completed, Failed and Cancelled count terminal job outcomes.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+}
+
+// Server owns the job queue, the result cache and the job registry.
+// Create with New, mount Handler on an http.Server, Close to drain.
+type Server struct {
+	cfg   Config
+	cache *cache
+
+	ctx       context.Context
+	cancelAll context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int
+	jobs     map[string]*Job // by ID; oldest terminal jobs pruned past MaxJobs
+	order    []string        // IDs in submission order (listing)
+	inflight map[string]*Job // fingerprint → queued/running job
+	counters Counters
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	// testHoldRun, when set (tests only), is called by a worker after
+	// dequeuing a job and before running it — a hook to hold the worker
+	// so queue and coalescing states become deterministic.
+	testHoldRun func(*Job)
+}
+
+// New starts a Server's workers and returns it ready to serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		cache:     newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheDir),
+		ctx:       ctx,
+		cancelAll: cancel,
+		jobs:      make(map[string]*Job),
+		inflight:  make(map[string]*Job),
+		queue:     make(chan *Job, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting submissions, cancels queued and running jobs,
+// and waits for the workers to drain. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.cancelAll()
+	s.wg.Wait()
+}
+
+// Submit validates, fingerprints and admits one study. The returned
+// job is freshly queued, an already in-flight identical job
+// (coalesced=true), or an immediately-done job answered from the cache
+// (cached=true). Errors: validation errors (bad spec or reps),
+// ErrQueueFull, ErrClosed.
+func (s *Server) Submit(spec scenario.Spec, reps int) (job *Job, cached, coalesced bool, err error) {
+	if reps < 1 || reps > s.cfg.MaxReps {
+		return nil, false, false, fmt.Errorf("serve: reps = %d outside 1–%d", reps, s.cfg.MaxReps)
+	}
+	key, err := scenario.Fingerprint(spec, reps)
+	if err != nil {
+		return nil, false, false, err
+	}
+	compiled, err := scenario.Compile(spec)
+	if err != nil {
+		return nil, false, false, err
+	}
+	// The cache lookup — which may fault a result in from disk — runs
+	// before the server lock, so slow I/O never stalls unrelated
+	// handlers. The miss-then-computed race this opens (another
+	// identical job completing in between) at worst recomputes a
+	// bit-identical result.
+	ent, disk, hit := s.cache.get(key)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, false, ErrClosed
+	}
+	s.counters.Submissions++
+
+	if hit {
+		s.counters.CacheHits++
+		if disk {
+			s.counters.DiskCacheHits++
+		}
+		j := s.newJobLocked(key, compiled, reps)
+		j.completeFromCache(ent)
+		return j, true, false, nil
+	}
+	// Coalesce onto an identical in-flight job — unless that job was
+	// cancelled while queued (terminal but still occupying the slot
+	// until a worker dequeues it); attaching there would answer a
+	// valid submission with 410 Gone.
+	if j, ok := s.inflight[key]; ok && !j.Status().State.Terminal() {
+		s.counters.Coalesced++
+		return j, false, true, nil
+	}
+
+	j := s.newJobLocked(key, compiled, reps)
+	select {
+	case s.queue <- j:
+	default:
+		// Undo the registration: the job was never admitted.
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.counters.Rejected++
+		s.counters.Submissions--
+		return nil, false, false, ErrQueueFull
+	}
+	s.inflight[key] = j
+	return j, false, false, nil
+}
+
+// newJobLocked registers a new job and prunes the registry down to
+// MaxJobs by evicting the oldest terminal jobs; s.mu must be held.
+func (s *Server) newJobLocked(key string, c *scenario.Compiled, reps int) *Job {
+	s.seq++
+	j := newJob(fmt.Sprintf("j%d", s.seq), key, c, reps)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if len(s.order) > s.cfg.MaxJobs {
+		kept := s.order[:0]
+		excess := len(s.order) - s.cfg.MaxJobs
+		for _, id := range s.order {
+			if excess > 0 && s.jobs[id].Status().State.Terminal() {
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.order = kept
+	}
+	return j
+}
+
+// Job returns a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.jobs[id]
+	}
+	return out
+}
+
+// Stats snapshots the counters plus current cache occupancy.
+func (s *Server) Stats() (Counters, int) {
+	s.mu.Lock()
+	c := s.counters
+	s.mu.Unlock()
+	return c, s.cache.len()
+}
+
+// worker consumes the queue until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if s.testHoldRun != nil {
+			s.testHoldRun(j)
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job to a terminal state.
+func (s *Server) runJob(j *Job) {
+	ctx, ok := j.start(s.ctx)
+	if !ok {
+		// Cancelled while queued; nothing ran.
+		s.finishJob(j, func() { s.counters.Cancelled++ })
+		return
+	}
+	rep, err := scenario.ReplicationsOpts(j.compiled, j.reps, s.cfg.RepWorkers, scenario.Options{
+		Context:  ctx,
+		Progress: j.setProgress,
+	})
+	switch {
+	case errors.Is(err, context.Canceled):
+		// Cancellation proper. A genuine replication error that merely
+		// coincides with cancellation takes the failed branch below:
+		// MapCtx preserves the lowest-index real error.
+		j.finish(StateCancelled, nil, err.Error())
+		s.finishJob(j, func() { s.counters.Cancelled++ })
+	case err != nil:
+		j.finish(StateFailed, nil, err.Error())
+		s.finishJob(j, func() { s.counters.Failed++ })
+	default:
+		ent, err := encodeResult(j.key, rep)
+		if err != nil {
+			j.finish(StateFailed, nil, err.Error())
+			s.finishJob(j, func() { s.counters.Failed++ })
+			return
+		}
+		s.cache.put(ent)
+		j.finish(StateDone, &ent, "")
+		s.finishJob(j, func() { s.counters.Completed++ })
+	}
+}
+
+// finishJob clears the in-flight slot and bumps a counter under s.mu.
+func (s *Server) finishJob(j *Job, count func()) {
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	count()
+	s.mu.Unlock()
+}

@@ -10,16 +10,18 @@ import (
 	"sort"
 )
 
-// Summary describes a sample of repeated measurements.
+// Summary describes a sample of repeated measurements. The JSON tags
+// are part of the serving API (internal/serve caches and returns
+// marshalled summaries); renaming them is a wire-format change.
 type Summary struct {
-	N      int
-	Mean   float64
-	StdDev float64 // sample standard deviation (n−1)
-	Min    float64
-	Max    float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"` // sample standard deviation (n−1)
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
 	// CI95 is the half-width of the 95% confidence interval of the
 	// mean under the normal approximation (1.96·σ/√n).
-	CI95 float64
+	CI95 float64 `json:"ci95"`
 }
 
 // Summarize reduces a sample. It panics on an empty sample: averaging

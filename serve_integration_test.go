@@ -1,0 +1,207 @@
+package repro_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestServeMatchesCLI is the serving architecture's acceptance pin:
+// plcsrv serves concurrent scenario submissions through the job queue,
+// a repeated identical submission is answered from the cache
+// bit-identically to the first computed result, and both are
+// bit-identical to `sim1901 -scenario` on the same spec.
+func TestServeMatchesCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	sim1901 := buildTool(t, bin, "sim1901")
+	plcsrv := buildTool(t, bin, "plcsrv")
+	const spec = "testdata/scenarios/tiny-sweep.json"
+	const reps = 3
+
+	// Reference: the CLI's exact bytes.
+	cli := exec.Command(sim1901, "-scenario", spec, "-reps", fmt.Sprint(reps))
+	var cliStderr bytes.Buffer
+	cli.Stderr = &cliStderr
+	want, err := cli.Output()
+	if err != nil {
+		t.Fatalf("sim1901: %v\n%s", err, cliStderr.String())
+	}
+
+	// Boot the daemon.
+	srv := exec.Command(plcsrv, "-listen", "127.0.0.1:0")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("plcsrv never printed its address")
+	}
+
+	specJSON, err := os.ReadFile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"spec":%s,"reps":%d}`, specJSON, reps)
+
+	// Fire several concurrent submissions of the same study: one
+	// computes, the rest coalesce onto it or hit the cache — never a
+	// duplicate simulation, and everyone sees the same job outcome.
+	type subResult struct {
+		sub  serve.SubmitResponse
+		code int
+		err  error
+	}
+	const clients = 4
+	results := make(chan subResult, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				results <- subResult{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var sr subResult
+			sr.code = resp.StatusCode
+			sr.err = json.NewDecoder(resp.Body).Decode(&sr.sub)
+			results <- sr
+		}()
+	}
+	var ids []string
+	for i := 0; i < clients; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.code != http.StatusAccepted && r.code != http.StatusOK {
+			t.Fatalf("submission rejected: %d", r.code)
+		}
+		ids = append(ids, r.sub.ID)
+	}
+
+	// Wait for every submission's job and collect the text rendering.
+	fetchText := func(id string) []byte {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			resp, err := http.Get(base + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st serve.Status
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State == serve.StateDone {
+				break
+			}
+			if st.State.Terminal() {
+				t.Fatalf("job %s: %+v", id, st)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished", id)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/result?format=text")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	for _, id := range ids {
+		if got := fetchText(id); !bytes.Equal(got, want) {
+			t.Fatalf("served text for job %s differs from sim1901 -scenario:\n--- served ---\n%s--- cli ---\n%s", id, got, want)
+		}
+	}
+
+	// A fresh repeated submission must now be a cache hit with the
+	// same bytes again.
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again serve.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !again.Cached {
+		t.Fatalf("repeat submission: code=%d resp=%+v, want cached", resp.StatusCode, again)
+	}
+	if got := fetchText(again.ID); !bytes.Equal(got, want) {
+		t.Fatalf("cached text differs from sim1901 -scenario:\n--- cached ---\n%s--- cli ---\n%s", got, want)
+	}
+
+	// Accounting: every submission was either computed, coalesced, or
+	// a cache hit — and at least one computed. Submit's lock-free cache
+	// lookup permits a rare miss-then-completed race that recomputes a
+	// bit-identical result, so "exactly one computed" would over-assert;
+	// the bit-identity checks above are the real guarantee.
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats serve.StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed < 1 {
+		t.Errorf("completed jobs = %d, want ≥ 1", stats.Completed)
+	}
+	if total := stats.Completed + stats.CacheHits + stats.Coalesced; total != int64(clients)+1 {
+		t.Errorf("completed (%d) + cache hits (%d) + coalesced (%d) = %d, want %d submissions accounted for",
+			stats.Completed, stats.CacheHits, stats.Coalesced, total, clients+1)
+	}
+	if stats.CacheHits+stats.Coalesced < 1 {
+		t.Errorf("no submission was deduplicated: %+v", stats)
+	}
+}
