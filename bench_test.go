@@ -10,6 +10,11 @@
 package repro_test
 
 import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/backoff"
@@ -19,6 +24,8 @@ import (
 	"repro/internal/hpav"
 	"repro/internal/model"
 	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 )
@@ -307,6 +314,101 @@ func BenchmarkRNG(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = src.Backoff(64)
 	}
+}
+
+// predictSpec is the shared operating point of the model-vs-simulation
+// speedup pair: 10 saturated CA1 stations over the paper's example
+// horizon of 5·10⁸ µs (the published sim_1901 invocation's duration).
+// BenchmarkModelPredict answers it analytically — the fixed point is
+// horizon-independent, so its cost does not grow with sim_time_us —
+// while BenchmarkSimPointReplication runs one simulated replication of
+// the identical spec; the speedup (≥ 100×) reads directly off these
+// two entries in BENCH_results.json.
+func predictSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:          "predict-bench",
+		SimTimeMicros: 5e8,
+		Stations:      []scenario.Group{{Count: 10}},
+	}
+}
+
+// BenchmarkModelPredict measures one analytic scenario point: the
+// heterogeneous fixed point plus metric derivation, the unit of work
+// behind `sim1901 -engine model` and the serving daemon's /v1/predict.
+func BenchmarkModelPredict(b *testing.B) {
+	s := predictSpec()
+	s.Engine = scenario.EngineModel
+	c, err := scenario.Compile(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.RunOnce(c.Points[0], 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimPointReplication measures one simulated replication of
+// the same spec BenchmarkModelPredict answers analytically.
+func BenchmarkSimPointReplication(b *testing.B) {
+	s := predictSpec()
+	s.Engine = scenario.EngineSim
+	c, err := scenario.Compile(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.RunOnce(c.Points[0], uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServePredict measures POST /v1/predict end to end through
+// the HTTP handler: the cold arm defeats the cache with a fresh seed
+// per iteration (every request solves), the hot arm repeats one spec
+// (every request after the first is a fingerprint cache hit — the
+// sub-millisecond serving path).
+func BenchmarkServePredict(b *testing.B) {
+	run := func(b *testing.B, body func(i int) string) {
+		s, err := serve.New(serve.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("predict status %d", resp.StatusCode)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	const spec = `{"name":"serve-predict-bench","engine":"model","sim_time_us":5e7,"seed":%d,"stations":[{"count":10}]}`
+	b.Run("cold", func(b *testing.B) {
+		run(b, func(i int) string {
+			// A fresh seed changes the fingerprint (never the analytic
+			// answer), forcing a solve per request.
+			return `{"spec":` + fmt.Sprintf(spec, i+1) + `}`
+		})
+	})
+	b.Run("cached", func(b *testing.B) {
+		body := `{"spec":` + fmt.Sprintf(spec, 1) + `}`
+		run(b, func(int) string { return body })
+	})
 }
 
 // BenchmarkBoostModelScore measures the model-side scoring cost of one

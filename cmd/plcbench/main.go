@@ -222,8 +222,10 @@ func scenarioTable(path string, reps int, parallel bool) (*experiments.Table, er
 		return nil, err
 	}
 	t := &experiments.Table{
-		ID:     "scenario-" + report.Spec.Name,
-		Title:  fmt.Sprintf("Scenario %s: %d replications per point (engine %s)", report.Spec.Name, reps, report.Spec.Engine),
+		ID: "scenario-" + report.Spec.Name,
+		// report.Reps, not the requested reps: the model engine
+		// collapses deterministic studies to one evaluation per point.
+		Title:  fmt.Sprintf("Scenario %s: %d replications per point (engine %s)", report.Spec.Name, report.Reps, report.Spec.Engine),
 		Note:   report.Spec.Description,
 		Header: []string{"N", "metric", "mean", "± 95% CI", "stddev", "min", "max"},
 	}

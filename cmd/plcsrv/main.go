@@ -14,6 +14,11 @@
 //	curl -s 127.0.0.1:8277/v1/jobs/j1/result        # aggregated JSON
 //	curl -s "127.0.0.1:8277/v1/jobs/j1/result?format=text"  # sim1901-identical text
 //
+// Analytic predictions answer synchronously — no queue, no polling:
+//
+//	curl -s -X POST 127.0.0.1:8277/v1/predict \
+//	     -d "{\"spec\": $(cat examples/scenarios/model-saturation-sweep.json)}"
+//
 // See docs/SERVING.md for the full API and the determinism guarantee.
 package main
 
@@ -45,7 +50,7 @@ func main() {
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		QueueDepth:   *queueDepth,
 		Workers:      *workers,
 		RepWorkers:   *repWorkers,
@@ -55,6 +60,12 @@ func main() {
 		MaxReps:      *maxReps,
 		MaxJobs:      *maxJobs,
 	})
+	if err != nil {
+		// Most likely an unusable -cache-dir: refuse to run without the
+		// persistence the operator asked for.
+		fmt.Fprintln(os.Stderr, "plcsrv:", err)
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

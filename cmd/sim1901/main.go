@@ -24,6 +24,19 @@
 // GOMAXPROCS with -parallel, bit-identical to serial) and prints each
 // metric's mean ± 95% confidence interval. -validate parses and
 // compiles the scenario without running it.
+//
+// -engine overrides the scenario's engine; in particular
+//
+//	sim1901 -scenario f.json -engine model
+//
+// answers the scenario analytically through the decoupling-model fixed
+// point (microseconds per point, deterministic: replications collapse
+// to n=1), and
+//
+//	sim1901 -scenario f.json -compare -reps 10
+//
+// runs both the model and the simulator and prints the per-metric
+// divergence — the model-accuracy study in CLI form.
 package main
 
 import (
@@ -41,24 +54,48 @@ import (
 )
 
 // runScenario is the declarative mode: load, compile, replicate, print.
-func runScenario(path string, reps int, parallel, validateOnly bool) {
+// engine, when non-empty, overrides the spec's engine field; compare
+// runs the model-vs-simulation divergence study instead of one report.
+func runScenario(path string, reps int, parallel, validateOnly bool, engine string, compare bool) {
 	spec, err := scenario.Load(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sim1901:", err)
 		os.Exit(2)
 	}
-	c, err := scenario.Compile(spec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "sim1901:", err)
-		os.Exit(2)
-	}
-	if validateOnly {
-		fmt.Println("ok:", c.Describe())
-		return
+	if engine != "" {
+		spec.Engine = engine
 	}
 	workers := 1
 	if parallel {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if validateOnly {
+		// -validate always means parse-compile-and-exit, even when
+		// combined with -compare: never start a potentially long study.
+		c, err := scenario.Compile(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sim1901:", err)
+			os.Exit(2)
+		}
+		fmt.Println("ok:", c.Describe())
+		return
+	}
+	if compare {
+		cmp, err := scenario.Compare(spec, reps, workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sim1901:", err)
+			os.Exit(2)
+		}
+		if err := cmp.Write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sim1901:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	c, err := scenario.Compile(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim1901:", err)
+		os.Exit(2)
 	}
 	report, err := scenario.Replications(c, reps, workers)
 	if err != nil {
@@ -99,15 +136,17 @@ func main() {
 		scenarioF   = flag.String("scenario", "", "declarative scenario JSON file (replaces -n/-cw/-dc/...)")
 		reps        = flag.Int("reps", 10, "independent-seed replications per scenario point (with -scenario)")
 		validate    = flag.Bool("validate", false, "parse and compile -scenario, report, and exit without running")
+		engine      = flag.String("engine", "", "override the scenario's engine: sim, mac, model or auto (with -scenario)")
+		compare     = flag.Bool("compare", false, "run -scenario through both the analytic model and the simulator and print per-metric divergence")
 	)
 	flag.Parse()
 
 	if *scenarioF != "" {
-		runScenario(*scenarioF, *reps, *parallel, *validate)
+		runScenario(*scenarioF, *reps, *parallel, *validate, *engine, *compare)
 		return
 	}
-	if *validate {
-		fmt.Fprintln(os.Stderr, "sim1901: -validate requires -scenario")
+	if *validate || *engine != "" || *compare {
+		fmt.Fprintln(os.Stderr, "sim1901: -validate, -engine and -compare require -scenario")
 		os.Exit(2)
 	}
 

@@ -10,6 +10,12 @@
 // are scored across a set of station counts, not a single N, because
 // the number of contenders in a home network is unknown to the devices
 // — the same robustness argument the paper's tuning makes.
+//
+// Model scoring runs through the compiled scenario path: each candidate
+// lowers to a model-engine scenario.Spec (sweep_n over the evaluation
+// counts) and is answered by scenario.RunOnce — the same code path the
+// serving daemon's /v1/predict endpoint and model-engine job queue use,
+// so a service can drive the identical search one prediction at a time.
 package boost
 
 import (
@@ -20,8 +26,8 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/config"
 	"repro/internal/fairness"
-	"repro/internal/model"
 	"repro/internal/par"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -138,8 +144,28 @@ type Candidate struct {
 	Score float64
 }
 
+// candidateSpec lowers one (cw, dc) candidate onto the declarative
+// scenario layer: a model-engine spec sweeping the evaluation station
+// counts. This is the exact compiled path the serving daemon runs, so a
+// search candidate and a `POST /v1/predict` of the same spec are
+// answered by the same code (and the same content-addressed cache key).
+func candidateSpec(p config.Params, ns []int) scenario.Spec {
+	name := p.Name
+	if name == "" {
+		name = "candidate"
+	}
+	return scenario.Spec{
+		Name:          "boost-" + name,
+		Engine:        scenario.EngineModel,
+		SimTimeMicros: 1e6, // rates and probabilities are horizon-free
+		SweepN:        ns,
+		Stations:      []scenario.Group{{Count: 1, CW: p.CW, DC: p.DC}},
+	}
+}
+
 // ScoreModel evaluates one configuration across the given station
-// counts with the analytical model.
+// counts with the analytical model, through the compiled scenario path
+// (scenario.Compile + RunOnce on a model-engine spec).
 func ScoreModel(p config.Params, ns []int) (Candidate, error) {
 	c := Candidate{
 		Params:     p,
@@ -147,15 +173,28 @@ func ScoreModel(p config.Params, ns []int) (Candidate, error) {
 		Collision:  make(map[int]float64, len(ns)),
 		Score:      math.Inf(1),
 	}
-	for _, n := range ns {
-		pred, met, err := model.Predict(n, p)
+	compiled, err := scenario.Compile(candidateSpec(p, ns))
+	if err != nil {
+		return Candidate{}, fmt.Errorf("boost: compile %s: %w", p.Name, err)
+	}
+	for i, point := range compiled.Points {
+		metrics, err := scenario.RunOnce(point, 0)
 		if err != nil {
-			return Candidate{}, fmt.Errorf("boost: model for %s at N=%d: %w", p.Name, n, err)
+			return Candidate{}, fmt.Errorf("boost: model for %s at N=%d: %w", p.Name, ns[i], err)
 		}
-		c.Throughput[n] = met.NormalizedThroughput
-		c.Collision[n] = pred.Gamma
-		if met.NormalizedThroughput < c.Score {
-			c.Score = met.NormalizedThroughput
+		var thr, coll float64
+		for _, m := range metrics {
+			switch m.Name {
+			case "norm_throughput":
+				thr = m.Value
+			case "collision_pr":
+				coll = m.Value
+			}
+		}
+		c.Throughput[ns[i]] = thr
+		c.Collision[ns[i]] = coll
+		if thr < c.Score {
+			c.Score = thr
 		}
 	}
 	return c, nil

@@ -14,6 +14,14 @@ type Group struct {
 	N int
 	// Params is the group's CSMA/CA configuration.
 	Params config.Params
+	// ErrorProb is the per-frame channel error probability in [0, 1]:
+	// a transmission that wins the medium alone is still lost with this
+	// probability. It folds into the fixed point's success term — an
+	// attempt returns to stage 0 w.p. (1−γ)(1−ErrorProb) — because the
+	// destination acknowledges the errored frame with an all-blocks-
+	// errored indication and the transmitter advances its backoff stage
+	// exactly like a collision. 0 keeps the paper's error-free channel.
+	ErrorProb float64
 }
 
 // HeteroPrediction is the multi-group fixed point: per-group attempt
@@ -51,33 +59,33 @@ func SolveHeterogeneous(groups []Group, opts Options) (HeteroPrediction, error) 
 		if err := g.Params.Validate(); err != nil {
 			return HeteroPrediction{}, fmt.Errorf("model: group %d: %w", i, err)
 		}
+		if g.ErrorProb < 0 || g.ErrorProb > 1 || math.IsNaN(g.ErrorProb) {
+			return HeteroPrediction{}, fmt.Errorf("model: group %d: error probability %v outside [0, 1]", i, g.ErrorProb)
+		}
 		total += g.N
 	}
 	opts = opts.withDefaults()
 
 	k := len(groups)
+	if total == 1 {
+		// A lone station sees an idle medium: p = 0 exactly, mirroring
+		// the homogeneous solver's N=1 fast path (the damped iteration
+		// would only approach this value geometrically).
+		g := groups[0]
+		t, _ := tauGivenSucc(g.Params, 0, 1-g.ErrorProb)
+		return HeteroPrediction{Tau: []float64{t}, Gamma: []float64{0}, Iterations: 0}, nil
+	}
 	tau := make([]float64, k)
 	for i := range tau {
 		tau[i] = 0.1
-	}
-	gammaOf := func(tau []float64, i int) float64 {
-		q := 1.0
-		for j, g := range groups {
-			exp := float64(g.N)
-			if j == i {
-				exp--
-			}
-			q *= math.Pow(1-tau[j], exp)
-		}
-		return 1 - q
 	}
 
 	next := make([]float64, k)
 	for it := 1; it <= opts.MaxIterations; it++ {
 		var maxDelta float64
 		for i, g := range groups {
-			p := gammaOf(tau, i)
-			v, _ := tauGivenP(g.Params, p)
+			p := gammaOf(tau, groups, i)
+			v, _ := tauGivenSucc(g.Params, p, (1-p)*(1-g.ErrorProb))
 			next[i] = tau[i] + opts.Damping*(v-tau[i])
 			if d := math.Abs(next[i] - tau[i]); d > maxDelta {
 				maxDelta = d
@@ -87,7 +95,7 @@ func SolveHeterogeneous(groups []Group, opts Options) (HeteroPrediction, error) 
 		if maxDelta < opts.Tolerance {
 			pred := HeteroPrediction{Tau: tau, Gamma: make([]float64, k), Iterations: it}
 			for i := range groups {
-				pred.Gamma[i] = gammaOf(tau, i)
+				pred.Gamma[i] = gammaOf(tau, groups, i)
 			}
 			return pred, nil
 		}
@@ -95,8 +103,39 @@ func SolveHeterogeneous(groups []Group, opts Options) (HeteroPrediction, error) 
 	return HeteroPrediction{}, ErrNoConvergence
 }
 
-// HeteroMetrics derives throughput shares from a heterogeneous fixed
-// point.
+// gammaOf is group i's conditional collision probability given the
+// current attempt rates: 1 − Π_j (1−τ_j)^(n_j − [i=j]). Runs of groups
+// sharing the same τ are collapsed into one math.Pow call with the
+// summed exponent, so that k identically configured groups — whose τ
+// stay equal throughout the iteration by symmetry — reproduce the
+// homogeneous solver's 1 − (1−τ)^(N−1) bit for bit.
+func gammaOf(tau []float64, groups []Group, i int) float64 {
+	q := 1.0
+	for j := 0; j < len(tau); {
+		base := 1 - tau[j]
+		exp := groups[j].N
+		if j == i {
+			exp--
+		}
+		k := j + 1
+		for k < len(tau) && 1-tau[k] == base {
+			exp += groups[k].N
+			if k == i {
+				exp--
+			}
+			k++
+		}
+		if exp > 0 {
+			q *= math.Pow(base, float64(exp))
+		}
+		j = k
+	}
+	return 1 - q
+}
+
+// HeteroMetrics derives time-based metrics from a heterogeneous fixed
+// point: throughput shares plus the per-virtual-slot rates the scenario
+// layer converts into expected event counts.
 type HeteroMetrics struct {
 	// GroupThroughput[i] is group i's normalized throughput (all its
 	// stations combined).
@@ -107,34 +146,57 @@ type HeteroMetrics struct {
 	TotalThroughput float64
 	// MeanSlotDuration is E[σ] in µs.
 	MeanSlotDuration float64
+	// CollisionProbability is the attempt-weighted ΣC/ΣA the paper's
+	// counters measure: Σ n_i·τ_i·γ_i / Σ n_i·τ_i. Errored frames sit in
+	// the denominator (the destination acknowledges them), so the
+	// definition matches the simulator's with channel errors enabled.
+	CollisionProbability float64
+	// SlotIdle, SlotSingle and SlotCollision are the per-virtual-slot
+	// outcome probabilities. SlotSingle counts every single-transmitter
+	// slot — successes and channel-errored frames both occupy Ts.
+	SlotIdle, SlotSingle, SlotCollision float64
+	// AttemptRate, SuccessRate, CollidedRate and ErrorRate are expected
+	// frames per virtual slot: attempts Σ n_i·τ_i, delivered frames
+	// Σ n_i·τ_i·(1−γ_i)(1−e_i), collided frames Σ n_i·τ_i·γ_i, and
+	// channel-errored frames Σ n_i·τ_i·(1−γ_i)·e_i.
+	AttemptRate, SuccessRate, CollidedRate, ErrorRate float64
 }
 
 // HeteroMetricsFor evaluates the time-based metrics of a heterogeneous
-// prediction. The per-slot success probability of a group-i station is
-// τ_i(1−γ_i); the slot-duration composition follows the homogeneous
-// construction with the aggregate idle/success probabilities.
+// prediction. The per-slot delivery probability of a group-i station is
+// τ_i(1−γ_i)(1−e_i); the slot-duration composition follows the
+// homogeneous construction with the aggregate idle/busy probabilities
+// (an errored single-transmitter slot occupies Ts like a success).
 func HeteroMetricsFor(pred HeteroPrediction, groups []Group, tm Timing) HeteroMetrics {
 	pIdle := 1.0
 	for j, g := range groups {
 		pIdle *= math.Pow(1-pred.Tau[j], float64(g.N))
 	}
-	var pSucc float64
-	groupSucc := make([]float64, len(groups))
-	for i, g := range groups {
-		s := float64(g.N) * pred.Tau[i] * (1 - pred.Gamma[i])
-		groupSucc[i] = s
-		pSucc += s
-	}
-	pColl := 1 - pIdle - pSucc
-	if pColl < 0 {
-		pColl = 0
-	}
-	es := pIdle*tm.Slot + pSucc*tm.Ts + pColl*tm.Tc
-
+	var pSingle float64
 	m := HeteroMetrics{
 		GroupThroughput:      make([]float64, len(groups)),
 		PerStationThroughput: make([]float64, len(groups)),
-		MeanSlotDuration:     es,
+	}
+	groupSucc := make([]float64, len(groups))
+	for i, g := range groups {
+		a := float64(g.N) * pred.Tau[i]
+		s := a * (1 - pred.Gamma[i])
+		groupSucc[i] = s * (1 - g.ErrorProb)
+		pSingle += s
+		m.AttemptRate += a
+		m.CollidedRate += a * pred.Gamma[i]
+		m.ErrorRate += s * g.ErrorProb
+		m.SuccessRate += groupSucc[i]
+	}
+	pColl := 1 - pIdle - pSingle
+	if pColl < 0 {
+		pColl = 0
+	}
+	es := pIdle*tm.Slot + pSingle*tm.Ts + pColl*tm.Tc
+	m.SlotIdle, m.SlotSingle, m.SlotCollision = pIdle, pSingle, pColl
+	m.MeanSlotDuration = es
+	if m.AttemptRate > 0 {
+		m.CollisionProbability = m.CollidedRate / m.AttemptRate
 	}
 	if es <= 0 {
 		return m

@@ -131,43 +131,60 @@ func (o Options) withDefaults() Options {
 var ErrNoConvergence = errors.New("model: fixed point did not converge")
 
 // tauGivenP evaluates the renewal-reward attempt rate τ(p) for a station
-// running params against a medium busy with probability p per slot.
+// running params against a medium busy with probability p per slot and
+// an error-free channel: an attempt succeeds exactly when it does not
+// collide, so the per-attempt success probability is 1−γ = 1−p.
+func tauGivenP(params config.Params, p float64) (tau float64, pi []float64) {
+	return tauGivenSucc(params, p, 1-p)
+}
+
+// tauGivenSucc evaluates the renewal-reward attempt rate τ for a station
+// running params against a medium busy with probability p per slot, when
+// each transmission attempt succeeds (returns the station to stage 0)
+// with probability succ. With an error-free channel succ = 1−γ; a
+// per-frame channel error probability e folds in as succ = (1−γ)(1−e),
+// since an errored frame is acknowledged with the all-blocks-errored
+// indication and advances the backoff stage exactly like a collision.
 //
 // Stage chain: a visit to stage i ends in an attempt w.p. x_i. An
-// attempt succeeds w.p. 1−γ (→ stage 0) and collides w.p. γ (→ next
+// attempt succeeds w.p. succ (→ stage 0) and fails otherwise (→ next
 // stage); a deferral jump also moves to the next stage; the last stage
-// re-enters itself. With p = γ the chain's visit distribution π solves
+// re-enters itself. The chain's visit distribution π solves
 //
-//	π_0 = Σ_i π_i·x_i·(1−γ),  π_i = π_{i−1}·(1 − x_{i−1}(1−γ)) (i<m−1)
-//	π_{m−1} = π_{m−2}·(1−x_{m−2}(1−γ)) / (x_{m−1}(1−γ))  [self-loop]
+//	π_0 = Σ_i π_i·x_i·succ,  π_i = π_{i−1}·(1 − x_{i−1}·succ) (i<m−1)
+//	π_{m−1} = π_{m−2}·(1−x_{m−2}·succ) / (x_{m−1}·succ)  [self-loop]
 //
 // and τ = Σπ_i·x_i / Σπ_i·E[T_i].
-func tauGivenP(params config.Params, p float64) (tau float64, pi []float64) {
+func tauGivenSucc(params config.Params, p, succ float64) (tau float64, pi []float64) {
 	m := params.Stages()
 	sq := make([]StageQuantities, m)
 	for i := 0; i < m; i++ {
 		sq[i] = Stage(params.CW[i], params.DC[i], p)
 	}
-	gamma := p
 
 	// Unnormalized visit rates, v_0 = 1.
 	v := make([]float64, m)
 	v[0] = 1
 	for i := 1; i < m; i++ {
-		leaveToNext := 1 - sq[i-1].Attempt*(1-gamma)
+		leaveToNext := 1 - sq[i-1].Attempt*succ
 		v[i] = v[i-1] * leaveToNext
 	}
-	// The last stage self-loops with probability 1 − x_{m−1}(1−γ): its
+	// The last stage self-loops with probability 1 − x_{m−1}·succ: its
 	// total visit rate is the inflow divided by the escape probability.
 	if m > 1 {
-		escape := sq[m-1].Attempt * (1 - gamma)
-		if escape <= 0 {
-			// A station that can never leave the last stage: τ → the
-			// last stage's attempt rate alone (degenerate but defined).
-			escape = math.SmallestNonzeroFloat64
+		escape := sq[m-1].Attempt * succ
+		// v[m-1] counts only first entries per cycle; the total visit
+		// rate scales by expected visits per entry, 1/escape. When the
+		// station can never leave the last stage (escape = 0, or so
+		// small the division overflows), the visit distribution
+		// concentrates there and the renewal-reward ratio has the
+		// defined limit τ = x_{m−1}/E[T_{m−1}] — return it explicitly
+		// instead of letting ±Inf/Inf produce NaN.
+		if escape <= 0 || math.IsInf(v[m-1]/escape, 0) {
+			pi = make([]float64, m)
+			pi[m-1] = 1
+			return sq[m-1].Attempt / sq[m-1].Slots, pi
 		}
-		// v[m-1] currently counts only first entries per cycle; scale
-		// by expected visits per entry, 1/escape.
 		v[m-1] /= escape
 	}
 

@@ -429,6 +429,162 @@ func TestStageRecurrenceProperty(t *testing.T) {
 	}
 }
 
+// TestTauGivenSuccDegenerate pins the never-escaping limit: a station
+// whose last stage can never be left (per-attempt success probability
+// 0, as a boost candidate sweep can propose via a busy probability that
+// rounds to 1, or a channel error probability of 1) must get the
+// defined limit τ = x_{m−1}/E[T_{m−1}] with the visit distribution
+// concentrated on the last stage — not the NaN the old
+// divide-by-SmallestNonzeroFloat64 overflow produced.
+func TestTauGivenSuccDegenerate(t *testing.T) {
+	params := config.DefaultCA1()
+	tau, pi := tauGivenSucc(params, 1, 0)
+	m := params.Stages()
+	last := Stage(params.CW[m-1], params.DC[m-1], 1)
+	if want := last.Attempt / last.Slots; math.Abs(tau-want) > 1e-12 || math.IsNaN(tau) {
+		t.Errorf("degenerate τ = %v, want x/E[T] = %v", tau, want)
+	}
+	for i, v := range pi {
+		want := 0.0
+		if i == m-1 {
+			want = 1
+		}
+		if v != want {
+			t.Errorf("degenerate π[%d] = %v, want %v", i, v, want)
+		}
+	}
+	// Near-degenerate: an escape probability small enough that the old
+	// code overflowed v[m−1] to +Inf must also stay finite.
+	tau, pi = tauGivenSucc(params, 1, 1e-320)
+	if math.IsNaN(tau) || math.IsInf(tau, 0) || tau <= 0 {
+		t.Errorf("near-degenerate τ = %v", tau)
+	}
+	for i, v := range pi {
+		if math.IsNaN(v) {
+			t.Errorf("near-degenerate π[%d] = NaN", i)
+		}
+	}
+}
+
+// TestSolveBisectionSurvivesSaturatedBusyProbability forces the
+// bisection fallback at a station count large enough that the upper
+// bracket's busy probability rounds to exactly 1 — the regime where the
+// old degenerate handling returned NaN and poisoned the bracket.
+func TestSolveBisectionSurvivesSaturatedBusyProbability(t *testing.T) {
+	pred, err := Solve(40, config.DefaultCA1(), Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(pred.Tau) || pred.Tau <= 0 || pred.Tau > 1 {
+		t.Errorf("bisection τ = %v", pred.Tau)
+	}
+	damped, err := Solve(40, config.DefaultCA1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred.Tau-damped.Tau) > 1e-6 {
+		t.Errorf("bisection τ %v disagrees with damped τ %v", pred.Tau, damped.Tau)
+	}
+}
+
+// TestHeterogeneousMatchesHomogeneousBitForBit: splitting N identical
+// stations into k groups must reproduce the homogeneous fixed point
+// exactly — the equality the model scenario engine's determinism
+// guarantee leans on.
+func TestHeterogeneousMatchesHomogeneousBitForBit(t *testing.T) {
+	params := config.DefaultCA1()
+	for _, split := range [][]int{{1}, {5}, {2, 3}, {1, 1, 3}, {1, 2, 3, 4}} {
+		n := 0
+		groups := make([]Group, len(split))
+		for i, c := range split {
+			groups[i] = Group{N: c, Params: params}
+			n += c
+		}
+		homo, err := Solve(n, params, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hetero, err := SolveHeterogeneous(groups, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range groups {
+			if hetero.Tau[i] != homo.Tau {
+				t.Errorf("split %v: group %d τ = %v, homogeneous τ = %v (must be bit-identical)",
+					split, i, hetero.Tau[i], homo.Tau)
+			}
+			if hetero.Gamma[i] != homo.Gamma {
+				t.Errorf("split %v: group %d γ = %v, homogeneous γ = %v (must be bit-identical)",
+					split, i, hetero.Gamma[i], homo.Gamma)
+			}
+		}
+	}
+}
+
+// TestHeteroErrorProbability covers the channel-error extension of the
+// fixed point: errors lower delivered throughput but leave the busy
+// medium composition intact, and the e=1 limit stays finite with zero
+// delivered throughput.
+func TestHeteroErrorProbability(t *testing.T) {
+	params := config.DefaultCA1()
+	clean, err := SolveHeterogeneous([]Group{{N: 5, Params: params}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanMet := HeteroMetricsFor(clean, []Group{{N: 5, Params: params}}, DefaultTiming())
+
+	noisyGroups := []Group{{N: 5, Params: params, ErrorProb: 0.2}}
+	noisy, err := SolveHeterogeneous(noisyGroups, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisyMet := HeteroMetricsFor(noisy, noisyGroups, DefaultTiming())
+	if noisyMet.TotalThroughput >= cleanMet.TotalThroughput*0.9 {
+		t.Errorf("20%% frame loss left throughput at %v (clean %v)",
+			noisyMet.TotalThroughput, cleanMet.TotalThroughput)
+	}
+	if noisyMet.ErrorRate <= 0 {
+		t.Error("no error rate predicted despite error_prob = 0.2")
+	}
+	// Errors advance the backoff stage like collisions, so the noisy
+	// population must be at least as backed off (lower attempt rate).
+	if noisy.Tau[0] > clean.Tau[0] {
+		t.Errorf("errors raised τ: %v > %v", noisy.Tau[0], clean.Tau[0])
+	}
+
+	dead := []Group{{N: 3, Params: params, ErrorProb: 1}}
+	pred, err := SolveHeterogeneous(dead, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(pred.Tau[0]) || pred.Tau[0] <= 0 {
+		t.Errorf("e=1 τ = %v", pred.Tau[0])
+	}
+	met := HeteroMetricsFor(pred, dead, DefaultTiming())
+	if met.TotalThroughput != 0 {
+		t.Errorf("e=1 delivered throughput %v, want 0", met.TotalThroughput)
+	}
+	if _, err := SolveHeterogeneous([]Group{{N: 2, Params: params, ErrorProb: 1.5}}, Options{}); err == nil {
+		t.Error("error probability 1.5 accepted")
+	}
+}
+
+// TestHeteroSingleStationFastPath: one lone station must get the exact
+// p = 0 solution (Iterations 0), matching the homogeneous N=1 path.
+func TestHeteroSingleStationFastPath(t *testing.T) {
+	homo, err := Solve(1, config.DefaultCA1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetero, err := SolveHeterogeneous([]Group{{N: 1, Params: config.DefaultCA1()}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hetero.Iterations != 0 || hetero.Tau[0] != homo.Tau || hetero.Gamma[0] != 0 {
+		t.Errorf("single-station fast path: %+v vs homogeneous τ %v", hetero, homo.Tau)
+	}
+}
+
 func TestSolveHeterogeneousReducesToHomogeneous(t *testing.T) {
 	// One group of N must reproduce the homogeneous fixed point.
 	for _, n := range []int{2, 5, 10} {

@@ -6,8 +6,10 @@ import (
 	"repro/internal/config"
 	"repro/internal/hpav"
 	"repro/internal/mac"
+	"repro/internal/model"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/timing"
 	"repro/internal/traffic"
 )
 
@@ -32,8 +34,25 @@ type Point struct {
 	// zero; Run fills it per replication.
 	SimInputs *sim.Inputs
 	// MacPlan is the compiled form for the event-driven MAC (nil when
-	// the scenario targets the sim engine).
+	// the scenario targets another engine).
 	MacPlan *MacPlan
+	// ModelPlan is the compiled form for the analytic model engine (nil
+	// when the scenario targets a simulator).
+	ModelPlan *ModelPlan
+}
+
+// ModelPlan is the compiled form of a model-engine scenario: the
+// station groups of the heterogeneous decoupling fixed point plus the
+// timing that converts per-slot probabilities into time-based metrics.
+// Evaluation is deterministic — no seed enters anywhere.
+type ModelPlan struct {
+	// Groups feed model.SolveHeterogeneous, in spec order.
+	Groups []model.Group
+	// SimTimeMicros scales the per-slot rates into the expected event
+	// counts the simulated engines report.
+	SimTimeMicros float64
+	// Timing holds the slot/Ts/Tc/frame durations.
+	Timing model.Timing
 }
 
 // MacPlan is the compiled form of a mac-engine scenario: everything
@@ -97,6 +116,29 @@ func compilePoint(s Spec, groups []Group) (Point, error) {
 	for _, g := range groups {
 		n += g.Count
 	}
+	if s.Engine == EngineModel {
+		plan := &ModelPlan{
+			SimTimeMicros: s.SimTimeMicros,
+			Timing: model.Timing{
+				Slot:        timing.SlotTime,
+				Ts:          s.TsMicros,
+				Tc:          s.TcMicros,
+				FrameLength: s.FrameMicros,
+			},
+		}
+		for gi, g := range groups {
+			plan.Groups = append(plan.Groups, model.Group{
+				N: g.Count,
+				Params: config.Params{
+					Name: fmt.Sprintf("%s-g%d", s.Name, gi),
+					CW:   g.CW, DC: g.DC,
+				},
+				ErrorProb: g.ErrorProb,
+			})
+		}
+		return Point{N: n, ModelPlan: plan}, nil
+	}
+
 	if s.Engine == EngineMac {
 		plan := &MacPlan{
 			Cfg:           mac.Config{BeaconPeriodMicros: s.BeaconPeriodMicros},
@@ -221,9 +263,34 @@ type Metric struct {
 }
 
 // RunOnce executes one replication of a compiled point with the given
-// seed and returns its metrics in the engine's canonical order.
+// seed and returns its metrics in the engine's canonical order. A
+// model-engine point is answered analytically: the seed is ignored
+// (the fixed point is deterministic) and the count-style metrics carry
+// the model's expected values over SimTimeMicros, under the same
+// canonical names the sim engine reports — so aggregation, rendering,
+// golden files and the serving cache treat all engines alike.
 func RunOnce(p Point, seed uint64) ([]Metric, error) {
 	switch {
+	case p.ModelPlan != nil:
+		pl := p.ModelPlan
+		pred, err := model.SolveHeterogeneous(pl.Groups, model.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: model point: %w", err)
+		}
+		met := model.HeteroMetricsFor(pred, pl.Groups, pl.Timing)
+		// Expected virtual slots over the horizon convert per-slot
+		// rates into the counters the simulators report.
+		slots := pl.SimTimeMicros / met.MeanSlotDuration
+		return []Metric{
+			{"collision_pr", met.CollisionProbability},
+			{"norm_throughput", met.TotalThroughput},
+			{"successes", met.SuccessRate * slots},
+			{"collided_frames", met.CollidedRate * slots},
+			{"frame_errors", met.ErrorRate * slots},
+			{"idle_slots", met.SlotIdle * slots},
+			{"elapsed_us", pl.SimTimeMicros},
+		}, nil
+
 	case p.SimInputs != nil:
 		in := *p.SimInputs
 		in.Seed = seed

@@ -1,0 +1,240 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// modelSpec is a small heterogeneous model-engine scenario.
+func modelSpec() Spec {
+	return Spec{
+		Name:          "model-test",
+		Engine:        EngineModel,
+		SimTimeMicros: 1e7,
+		Stations: []Group{
+			{Count: 2},
+			{Count: 2, CW: []int{4, 8, 16, 32}, DC: []int{0, 1, 3, 15}, ErrorProb: 0.1},
+		},
+	}
+}
+
+// TestModelEngineCompilesAndEvaluates: the model engine produces the
+// sim engine's canonical metric names, deterministically — the seed
+// must not enter the evaluation anywhere.
+func TestModelEngineCompilesAndEvaluates(t *testing.T) {
+	c, err := Compile(modelSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Spec.Engine != EngineModel {
+		t.Fatalf("normalized engine %q", c.Spec.Engine)
+	}
+	p := c.Points[0]
+	if p.ModelPlan == nil || p.SimInputs != nil || p.MacPlan != nil {
+		t.Fatalf("model spec compiled to the wrong plan: %+v", p)
+	}
+	if len(p.ModelPlan.Groups) != 2 || p.ModelPlan.Groups[1].ErrorProb != 0.1 {
+		t.Fatalf("model plan groups: %+v", p.ModelPlan.Groups)
+	}
+
+	m1, err := RunOnce(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := RunOnce(p, 99999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"collision_pr", "norm_throughput", "successes",
+		"collided_frames", "frame_errors", "idle_slots", "elapsed_us"}
+	if len(m1) != len(wantNames) {
+		t.Fatalf("%d metrics, want %d", len(m1), len(wantNames))
+	}
+	for i, name := range wantNames {
+		if m1[i].Name != name {
+			t.Errorf("metric %d = %q, want %q (canonical sim order)", i, m1[i].Name, name)
+		}
+		if m1[i].Value != m2[i].Value {
+			t.Errorf("metric %s differs across seeds: %v vs %v (model points must be deterministic)",
+				name, m1[i].Value, m2[i].Value)
+		}
+		if math.IsNaN(m1[i].Value) || m1[i].Value < 0 {
+			t.Errorf("metric %s = %v", name, m1[i].Value)
+		}
+	}
+	if m1[4].Value <= 0 {
+		t.Error("error_prob group predicted no frame errors")
+	}
+	if m1[6].Value != 1e7 {
+		t.Errorf("elapsed_us = %v, want the spec horizon", m1[6].Value)
+	}
+}
+
+// TestModelEngineRepsCollapse: deterministic points collapse any
+// requested replication count to a single evaluation per point.
+func TestModelEngineRepsCollapse(t *testing.T) {
+	s := modelSpec()
+	s.Stations = s.Stations[:1]
+	s.SweepN = []int{1, 2, 5}
+	c, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replications(c, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reps != 1 {
+		t.Fatalf("model report reps = %d, want 1 (collapsed)", rep.Reps)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("%d points", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if len(p.PerRep) != 1 {
+			t.Errorf("N=%d: %d replications recorded", p.N, len(p.PerRep))
+		}
+		for _, m := range p.Metrics {
+			if m.Summary.N != 1 || m.Summary.CI95 != 0 {
+				t.Errorf("N=%d %s: n=%d ci=%v, want a single zero-width sample",
+					p.N, m.Name, m.Summary.N, m.Summary.CI95)
+			}
+		}
+	}
+	// Any reps value must produce the identical report.
+	rep2, err := Replications(c, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := rep.Write(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep2.Write(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("model reports differ across requested rep counts")
+	}
+}
+
+// TestModelEngineUnsupportedFeatures: everything that forces the
+// event-driven MAC must be a loud validation error under engine
+// "model" — the error -validate surfaces.
+func TestModelEngineUnsupportedFeatures(t *testing.T) {
+	base := func() Spec {
+		return Spec{
+			Name:          "model-bad",
+			Engine:        EngineModel,
+			SimTimeMicros: 1e6,
+			Stations:      []Group{{Count: 2}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"poisson", func(s *Spec) {
+			s.Stations[0].Traffic = &Traffic{Kind: TrafficPoisson, MeanInterarrivalMicros: 1e4}
+		}},
+		{"silent", func(s *Spec) { s.Stations[0].Traffic = &Traffic{Kind: TrafficNone} }},
+		{"beacons", func(s *Spec) { s.BeaconPeriodMicros = 33330 }},
+		{"bursts", func(s *Spec) { s.Stations[0].BurstMPDUs = 2 }},
+		{"mixed-priorities", func(s *Spec) {
+			s.Stations = append(s.Stations, Group{Count: 1, Priority: "CA3"})
+		}},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: engine model accepted an inexpressible spec", tc.name)
+			continue
+		}
+		if !bytes.Contains([]byte(err.Error()), []byte(`engine "model" cannot express`)) {
+			t.Errorf("%s: error %q does not name the unsupported feature contract", tc.name, err)
+		}
+	}
+}
+
+// TestModelTracksSimulationEnvelope is the accuracy pin of the model
+// engine: on the shipped saturation sweep (the paper's Figure 2
+// regime) the analytic throughput and collision probability must track
+// the simulator within the paper's reported accuracy envelope.
+func TestModelTracksSimulationEnvelope(t *testing.T) {
+	spec, err := Load("../../examples/scenarios/saturation-sweep.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.SimTimeMicros = 2e7 // shorter horizon: sampling noise ≪ model error
+	cmp, err := Compare(spec, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Points) != len(spec.SweepN) {
+		t.Fatalf("%d comparison points, want %d", len(cmp.Points), len(spec.SweepN))
+	}
+	for _, p := range cmp.Points {
+		for _, m := range p.Metrics {
+			switch m.Name {
+			case "norm_throughput":
+				if m.RelDiff > 0.05 {
+					t.Errorf("N=%d: model throughput %v vs sim %v — %.1f%% off, outside the 5%% envelope",
+						p.N, m.Model, m.Sim.Mean, 100*m.RelDiff)
+				}
+			case "collision_pr":
+				// The decoupling approximation is weakest at N=2
+				// (≈0.03 high, the band TestFigure2ModelShape also
+				// widens); 0.04 bounds every sweep point.
+				if m.AbsDiff > 0.04 {
+					t.Errorf("N=%d: model collision %v vs sim %v — |Δ| %.4f outside 0.04",
+						p.N, m.Model, m.Sim.Mean, m.AbsDiff)
+				}
+			}
+		}
+	}
+}
+
+// TestCompareReportShape covers the comparison plumbing itself.
+func TestCompareReportShape(t *testing.T) {
+	s := modelSpec()
+	s.Engine = "" // Compare must work from an engine-agnostic spec
+	cmp, err := Compare(s, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Reps != 3 || len(cmp.Points) != 1 {
+		t.Fatalf("comparison shape: reps=%d points=%d", cmp.Reps, len(cmp.Points))
+	}
+	names := map[string]bool{}
+	for _, m := range cmp.Points[0].Metrics {
+		names[m.Name] = true
+		if m.Sim.N != 3 {
+			t.Errorf("%s: sim side aggregated n=%d, want 3", m.Name, m.Sim.N)
+		}
+		if m.AbsDiff != math.Abs(m.Model-m.Sim.Mean) {
+			t.Errorf("%s: abs diff %v inconsistent", m.Name, m.AbsDiff)
+		}
+	}
+	for _, want := range []string{"collision_pr", "norm_throughput", "successes"} {
+		if !names[want] {
+			t.Errorf("comparison missing metric %s", want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := cmp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("analytic model vs engine sim")) {
+		t.Errorf("comparison rendering:\n%s", buf.String())
+	}
+	// A mac-only spec cannot be compared.
+	bad := modelSpec()
+	bad.Engine = ""
+	bad.BeaconPeriodMicros = 33330
+	if _, err := Compare(bad, 2, 1); err == nil {
+		t.Error("Compare accepted a mac-only spec")
+	}
+}

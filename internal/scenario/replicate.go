@@ -101,6 +101,13 @@ func ReplicationsOpts(c *Compiled, reps, workers int, opts Options) (*Report, er
 	if reps < 1 {
 		return nil, fmt.Errorf("scenario %s: replications = %d must be ≥ 1", c.Spec.Name, reps)
 	}
+	if c.Spec.Engine == EngineModel {
+		// Analytic points are deterministic — every replication would
+		// return identical metrics, so the study collapses to a single
+		// evaluation per point (n=1, zero-width CI) whatever reps was
+		// requested. Report.Reps records the collapsed count.
+		reps = 1
+	}
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()

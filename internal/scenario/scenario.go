@@ -1,10 +1,11 @@
-// Package scenario is the declarative layer over the repository's two
-// simulators: a JSON-serializable Spec describes an operating regime —
+// Package scenario is the declarative layer over the repository's three
+// engines: a JSON-serializable Spec describes an operating regime —
 // station groups with heterogeneous CW/DC vectors, priorities, traffic
 // (saturated, Poisson or silent), per-station channel error
 // probabilities, beacons, timing and seed policy — and compiles into
-// either the slot-synchronous sim.Engine or the event-driven
-// mac.Network, whichever can express it.
+// the slot-synchronous sim.Engine, the event-driven mac.Network, or the
+// analytic decoupling-approximation model (engine "model"), whichever
+// can express it.
 //
 // Where internal/experiments hard-codes each paper table and figure as
 // a bespoke function, a Spec reaches every regime those functions span
@@ -42,6 +43,15 @@ const (
 	// EngineMac is the event-driven multi-priority MAC behind the
 	// emulated testbed (bursts, priorities, Poisson traffic, beacons).
 	EngineMac = "mac"
+	// EngineModel answers the scenario analytically through the
+	// decoupling-approximation fixed point (internal/model) instead of
+	// simulating: microseconds per point instead of seconds, at the cost
+	// of expressiveness — it covers exactly what EngineSim covers
+	// (saturated stations, a single contention class, one frame per
+	// transmission, heterogeneous CW/DC groups, per-station channel
+	// errors). Model points are deterministic: the seed is ignored and
+	// replications collapse to a single evaluation (n=1, no CI).
+	EngineModel = "model"
 )
 
 // Seed policies accepted by Spec.SeedPolicy.
@@ -221,10 +231,10 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: missing \"name\"")
 	}
 	switch s.Engine {
-	case "", EngineAuto, EngineSim, EngineMac:
+	case "", EngineAuto, EngineSim, EngineMac, EngineModel:
 	default:
-		return fmt.Errorf("scenario %s: unknown engine %q (want %q, %q or %q)",
-			s.Name, s.Engine, EngineSim, EngineMac, EngineAuto)
+		return fmt.Errorf("scenario %s: unknown engine %q (want %q, %q, %q or %q)",
+			s.Name, s.Engine, EngineSim, EngineMac, EngineModel, EngineAuto)
 	}
 	if !finitePositive(s.SimTimeMicros) {
 		return fmt.Errorf("scenario %s: \"sim_time_us\" = %v must be a positive finite duration", s.Name, s.SimTimeMicros)
@@ -264,6 +274,16 @@ func (s Spec) Validate() error {
 	if s.Engine == EngineSim {
 		if why := s.needsMac(); why != "" {
 			return fmt.Errorf("scenario %s: engine \"sim\" cannot express %s (use \"mac\" or \"auto\")", s.Name, why)
+		}
+	}
+	if s.Engine == EngineModel {
+		// The analytic model answers exactly the regimes the minimal
+		// simulator covers; everything that forces the event-driven MAC
+		// — Poisson or silent traffic, beacons, bursts, per-group
+		// framing, mixed priorities — is an unsupported feature, and
+		// the error names it so `-validate` reports it.
+		if why := s.needsMac(); why != "" {
+			return fmt.Errorf("scenario %s: engine \"model\" cannot express %s; the analytic model answers saturated single-class scenarios only (use \"mac\")", s.Name, why)
 		}
 	}
 	return nil

@@ -3,6 +3,8 @@ package serve
 import (
 	"container/list"
 	"encoding/json"
+	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,16 +36,29 @@ type cache struct {
 	maxBytes int
 	bytes    int
 	dir      string
+	dropOnce sync.Once  // first dropped disk write is logged, later ones suppressed
 	ll       *list.List // front = most recently used; values are entry
 	items    map[string]*list.Element
 }
 
-func newCache(max, maxBytes int, dir string) *cache {
+// newCache builds the cache and, when a persistence directory is
+// configured, verifies it is actually usable — created (or creatable)
+// and writable — so a typo'd or read-only -cache-dir fails server
+// startup loudly instead of silently running without persistence.
+func newCache(max, maxBytes int, dir string) (*cache, error) {
 	if dir != "" {
-		// Best-effort: a failed mkdir surfaces on the first put.
-		os.MkdirAll(dir, 0o755)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache dir %s: %w", dir, err)
+		}
+		probe, err := os.CreateTemp(dir, ".probe-*")
+		if err != nil {
+			return nil, fmt.Errorf("serve: cache dir %s is not writable: %w", dir, err)
+		}
+		name := probe.Name()
+		probe.Close()
+		os.Remove(name)
 	}
-	return &cache{max: max, maxBytes: maxBytes, dir: dir, ll: list.New(), items: make(map[string]*list.Element)}
+	return &cache{max: max, maxBytes: maxBytes, dir: dir, ll: list.New(), items: make(map[string]*list.Element)}, nil
 }
 
 func (c *cache) len() int {
@@ -139,20 +154,35 @@ func (c *cache) loadDisk(key string) (entry, bool) {
 
 // storeDisk persists one result atomically (temp file + rename), so a
 // crashed write can never leave a half-written result that a later
-// lookup would serve.
+// lookup would serve. Persistence stays best-effort — the memory tier
+// holds the result either way — but a dropped write is no longer
+// silent: the first failure is logged (later ones are suppressed, so a
+// full disk cannot flood the log).
 func (c *cache) storeDisk(e entry) {
+	drop := func(err error) {
+		c.dropOnce.Do(func() {
+			log.Printf("serve: cache: dropping result persistence to %s: %v (memory tier unaffected; further drops suppressed)", c.dir, err)
+		})
+	}
 	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
 	if err != nil {
-		return // persistence is best-effort; the memory tier holds the result
+		drop(err)
+		return
 	}
 	name := tmp.Name()
 	_, werr := tmp.Write(e.json)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(name)
+		if werr != nil {
+			drop(werr)
+		} else {
+			drop(cerr)
+		}
 		return
 	}
 	if err := os.Rename(name, c.path(e.key)); err != nil {
 		os.Remove(name)
+		drop(err)
 	}
 }

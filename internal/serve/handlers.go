@@ -52,6 +52,9 @@ type Event struct {
 // Handler returns the server's HTTP API:
 //
 //	POST   /v1/jobs             submit a study (SubmitRequest)
+//	POST   /v1/predict          answer a spec analytically, synchronously
+//	                            (model engine; fingerprint-cached;
+//	                            ?format=text for the CLI-identical text)
 //	GET    /v1/jobs             list job statuses in submission order
 //	GET    /v1/jobs/{id}        one job's status
 //	GET    /v1/jobs/{id}/result final result (JSON; ?format=text for
@@ -63,6 +66,7 @@ type Event struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
@@ -93,21 +97,31 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req SubmitRequest
+// decodeSpecRequest reads a SubmitRequest body and parses its spec,
+// writing the 400 itself on any failure (ok=false). Shared by the
+// submit and predict handlers so the two surfaces cannot drift.
+func decodeSpecRequest(w http.ResponseWriter, r *http.Request) (spec scenario.Spec, req SubmitRequest, ok bool) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode request: %w", err))
-		return
+		return scenario.Spec{}, req, false
 	}
 	if len(req.Spec) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("serve: missing \"spec\""))
-		return
+		return scenario.Spec{}, req, false
 	}
 	spec, err := scenario.Parse(req.Spec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return scenario.Spec{}, req, false
+	}
+	return spec, req, true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, req, ok := decodeSpecRequest(w, r)
+	if !ok {
 		return
 	}
 	reps := req.Reps
@@ -135,6 +149,43 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		ID: j.ID(), Key: j.Key(), State: j.Status().State,
 		Cached: cached, Coalesced: coalesced,
 	})
+}
+
+// handlePredict is the synchronous analytic endpoint: the submitted
+// spec is forced onto the model engine and answered in-request —
+// microseconds when solving, sub-millisecond end to end on a cache hit.
+// The body reuses SubmitRequest; Reps is ignored (model studies always
+// collapse to one deterministic evaluation). The response is the same
+// Result JSON a model-engine job's /result endpoint serves —
+// byte-identical, since both paths share one cache entry — and
+// ?format=text returns the `sim1901 -scenario -engine model` rendering.
+// An X-Cache header reports hit/miss.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	spec, _, ok := decodeSpecRequest(w, r)
+	if !ok {
+		return
+	}
+	data, text, cached, err := s.Predict(spec)
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(text))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// modelSpecJSON is a small model-engine spec in wire form.
+const modelSpecJSON = `{"name":"predict-me","engine":"model","sim_time_us":1e7,"sweep_n":[2,5],"stations":[{"count":1}]}`
+
+// TestPredictSynchronous pins the /v1/predict contract: the first call
+// solves and reports a cache miss, the second is a byte-identical hit,
+// and ?format=text returns the CLI rendering embedded in the JSON.
+func TestPredictSynchronous(t *testing.T) {
+	s := mustNew(t, Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"spec":%s}`, modelSpecJSON)
+	post := func(path string) (int, []byte, http.Header) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes(), resp.Header
+	}
+
+	code, first, hdr := post("/v1/predict")
+	if code != http.StatusOK || hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("first predict: code=%d x-cache=%q", code, hdr.Get("X-Cache"))
+	}
+	var res Result
+	if err := json.Unmarshal(first, &res); err != nil {
+		t.Fatalf("predict response does not parse: %v", err)
+	}
+	if res.Report == nil || res.Report.Reps != 1 || len(res.Report.Points) != 2 {
+		t.Fatalf("predict report shape: %+v", res.Report)
+	}
+	if res.Report.Spec.Engine != "model" {
+		t.Errorf("predict ran engine %q", res.Report.Spec.Engine)
+	}
+
+	code, second, hdr := post("/v1/predict")
+	if code != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+		t.Fatalf("second predict: code=%d x-cache=%q", code, hdr.Get("X-Cache"))
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("cached prediction differs byte-wise from the computed one")
+	}
+
+	code, text, _ := post("/v1/predict?format=text")
+	if code != http.StatusOK || string(text) != res.Text {
+		t.Fatalf("text form: code=%d, text/JSON mismatch", code)
+	}
+	if !strings.Contains(string(text), "(n=1, no CI)") {
+		t.Errorf("analytic rendering should carry zero-width CIs:\n%s", text)
+	}
+
+	counters, _ := s.Stats()
+	if counters.Predictions != 3 || counters.PredictCacheHits != 2 {
+		t.Errorf("predict counters: %+v", counters)
+	}
+	if counters.Submissions != 0 {
+		t.Errorf("predict must not count as a queue submission: %+v", counters)
+	}
+}
+
+// TestPredictForcesModelEngine: a sim-engine spec predicts fine (the
+// engine is overridden), while a mac-only spec is a 400 naming the
+// unsupported feature.
+func TestPredictForcesModelEngine(t *testing.T) {
+	s := mustNew(t, Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	simSpec := `{"name":"sim-spec","engine":"sim","sim_time_us":1e6,"stations":[{"count":3}]}`
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"spec":%s}`, simSpec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("sim spec prediction: code=%d err=%v", resp.StatusCode, err)
+	}
+	if res.Report.Spec.Engine != "model" {
+		t.Errorf("predict kept engine %q, want model override", res.Report.Spec.Engine)
+	}
+
+	macSpec := `{"name":"mac-spec","sim_time_us":1e6,"beacon_period_us":33330,"stations":[{"count":2}]}`
+	resp, err = http.Post(ts.URL+"/v1/predict", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"spec":%s}`, macSpec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mac-only spec predicted: code=%d body=%s", resp.StatusCode, body.String())
+	}
+	if !strings.Contains(body.String(), `engine \"model\" cannot express`) {
+		t.Errorf("error does not name the unsupported feature: %s", body.String())
+	}
+}
+
+// TestModelSpecOnJobQueue: a model-engine spec rides the ordinary job
+// queue, collapses any reps to one deterministic evaluation, and shares
+// its cache entry with /v1/predict — whichever path computed first.
+func TestModelSpecOnJobQueue(t *testing.T) {
+	s := mustNew(t, Config{})
+	defer s.Close()
+
+	spec, err := specFromJSON(modelSpecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, cached, _, err := s.Submit(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first model submission claimed a cache hit")
+	}
+	waitDone(t, j)
+	jobJSON, _, ok := j.Result()
+	if !ok {
+		t.Fatalf("model job has no result: %+v", j.Status())
+	}
+	var res Result
+	if err := json.Unmarshal(jobJSON, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Reps != 1 {
+		t.Errorf("model job reps = %d, want collapsed to 1", res.Report.Reps)
+	}
+
+	// A different reps value fingerprints to the same collapsed study.
+	j2, cached, _, err := s.Submit(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || j2.Key() != j.Key() {
+		t.Errorf("reps=42 model submission: cached=%v key=%s want hit on %s", cached, j2.Key(), j.Key())
+	}
+
+	// Predict reads the same entry the queue wrote.
+	predJSON, _, cachedPred, err := s.Predict(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cachedPred {
+		t.Error("predict missed the cache entry the job queue wrote")
+	}
+	if !bytes.Equal(predJSON, jobJSON) {
+		t.Error("predict bytes differ from the job-queue bytes for the same spec")
+	}
+}
+
+// specFromJSON decodes a spec literal for Submit-level tests.
+func specFromJSON(s string) (scenario.Spec, error) {
+	return scenario.Parse([]byte(s))
+}
+
+// TestNewFailsFastOnUnusableCacheDir: the silent-persistence bug — a
+// typo'd or unwritable -cache-dir must abort startup, not run without
+// persistence.
+func TestNewFailsFastOnUnusableCacheDir(t *testing.T) {
+	// A regular file where the directory should be: MkdirAll fails.
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{CacheDir: file}); err == nil {
+		t.Error("New accepted a cache dir that is a regular file")
+	}
+	if _, err := New(Config{CacheDir: filepath.Join(file, "below")}); err == nil {
+		t.Error("New accepted a cache dir under a regular file")
+	}
+
+	// A read-only directory: creation succeeds, writing must not.
+	ro := filepath.Join(t.TempDir(), "ro")
+	if err := os.MkdirAll(ro, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getuid() != 0 { // root bypasses permission bits
+		if _, err := New(Config{CacheDir: ro}); err == nil {
+			t.Error("New accepted a read-only cache dir")
+		}
+	}
+
+	// And the happy path still works, creating nested directories.
+	nested := filepath.Join(t.TempDir(), "a", "b")
+	s, err := New(Config{CacheDir: nested})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if fi, err := os.Stat(nested); err != nil || !fi.IsDir() {
+		t.Errorf("cache dir not created: %v", err)
+	}
+}

@@ -115,6 +115,11 @@ type Counters struct {
 	// Coalesced counts submissions that attached to an already queued
 	// or running identical job.
 	Coalesced int64 `json:"coalesced"`
+	// Predictions counts POST /v1/predict calls answered (synchronous
+	// model evaluations); PredictCacheHits the subset served from the
+	// result cache without solving.
+	Predictions      int64 `json:"predictions"`
+	PredictCacheHits int64 `json:"predict_cache_hits"`
 	// Rejected counts submissions refused with ErrQueueFull.
 	Rejected int64 `json:"rejected"`
 	// Completed, Failed and Cancelled count terminal job outcomes.
@@ -149,13 +154,20 @@ type Server struct {
 	testHoldRun func(*Job)
 }
 
-// New starts a Server's workers and returns it ready to serve.
-func New(cfg Config) *Server {
+// New starts a Server's workers and returns it ready to serve. It
+// fails fast when CacheDir is configured but unusable (missing and
+// uncreatable, or not writable) — a daemon asked to persist results
+// must not silently run without persistence.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	cache, err := newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
-		cache:     newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheDir),
+		cache:     cache,
 		ctx:       ctx,
 		cancelAll: cancel,
 		jobs:      make(map[string]*Job),
@@ -166,7 +178,7 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Close stops accepting submissions, cancels queued and running jobs,
@@ -190,15 +202,23 @@ func (s *Server) Close() {
 // (coalesced=true), or an immediately-done job answered from the cache
 // (cached=true). Errors: validation errors (bad spec or reps),
 // ErrQueueFull, ErrClosed.
+//
+// Model-engine specs ride the same queue, but their replication count
+// collapses to 1 before fingerprinting — analytic points are
+// deterministic, so every reps value names the same study and hits the
+// same cache entry (the one /v1/predict also reads and writes).
 func (s *Server) Submit(spec scenario.Spec, reps int) (job *Job, cached, coalesced bool, err error) {
 	if reps < 1 || reps > s.cfg.MaxReps {
 		return nil, false, false, fmt.Errorf("serve: reps = %d outside 1–%d", reps, s.cfg.MaxReps)
 	}
-	key, err := scenario.Fingerprint(spec, reps)
+	compiled, err := scenario.Compile(spec)
 	if err != nil {
 		return nil, false, false, err
 	}
-	compiled, err := scenario.Compile(spec)
+	if compiled.Spec.Engine == scenario.EngineModel {
+		reps = 1
+	}
+	key, err := scenario.Fingerprint(spec, reps)
 	if err != nil {
 		return nil, false, false, err
 	}
@@ -247,6 +267,54 @@ func (s *Server) Submit(spec scenario.Spec, reps int) (job *Job, cached, coalesc
 	}
 	s.inflight[key] = j
 	return j, false, false, nil
+}
+
+// Predict answers a spec analytically, synchronously: the spec is
+// forced onto the model engine, fingerprinted at reps=1, and served
+// from the result cache when known — otherwise solved inline (tens of
+// microseconds) and cached. No job is minted and the queue is never
+// touched; the returned bytes are the same entry a model-engine Submit
+// of the identical spec would produce, so the two paths share cache
+// entries and the bit-identical guarantee. Errors: validation errors
+// (specs the analytic model cannot express), ErrClosed.
+func (s *Server) Predict(spec scenario.Spec) (resultJSON []byte, text string, cached bool, err error) {
+	spec.Engine = scenario.EngineModel
+	compiled, err := scenario.Compile(spec)
+	if err != nil {
+		return nil, "", false, err
+	}
+	key, err := scenario.Fingerprint(spec, 1)
+	if err != nil {
+		return nil, "", false, err
+	}
+	ent, disk, hit := s.cache.get(key)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, "", false, ErrClosed
+	}
+	s.counters.Predictions++
+	if hit {
+		s.counters.PredictCacheHits++
+		if disk {
+			s.counters.DiskCacheHits++
+		}
+		s.mu.Unlock()
+		return ent.json, ent.text, true, nil
+	}
+	s.mu.Unlock()
+
+	rep, err := scenario.Replications(compiled, 1, 1)
+	if err != nil {
+		return nil, "", false, err
+	}
+	ent, err = encodeResult(key, rep)
+	if err != nil {
+		return nil, "", false, err
+	}
+	s.cache.put(ent)
+	return ent.json, ent.text, false, nil
 }
 
 // newJobLocked registers a new job and prunes the registry down to

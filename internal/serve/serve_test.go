@@ -32,6 +32,17 @@ func sweepSpec(name string) scenario.Spec {
 	return s
 }
 
+// mustNew builds a server from cfg, failing the test on a startup
+// error (only possible with an unusable cache dir).
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func waitDone(t *testing.T, j *Job) {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -46,7 +57,7 @@ func waitDone(t *testing.T, j *Job) {
 // cache with byte-identical result JSON and text, and the text equals
 // what the CLI path (Replications + Report.Write) produces.
 func TestSubmitComputeThenCache(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	defer s.Close()
 
 	spec := tinySpec("cache-roundtrip")
@@ -122,7 +133,7 @@ func TestSubmitComputeThenCache(t *testing.T) {
 // TestResultJSONCarriesSummaries unmarshals a served result and checks
 // the aggregated report inside it.
 func TestResultJSONCarriesSummaries(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	defer s.Close()
 
 	j, _, _, err := s.Submit(sweepSpec("json-shape"), 4)
@@ -163,7 +174,7 @@ func TestResultJSONCarriesSummaries(t *testing.T) {
 // two identical submissions deterministically meet in the queue: the
 // second must attach to the first's job, not enqueue a duplicate.
 func TestCoalescing(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	release := make(chan struct{})
 	running := make(chan struct{}, 8)
 	s.testHoldRun = func(*Job) {
@@ -210,7 +221,7 @@ func TestCoalescing(t *testing.T) {
 // worker and checks the overflow submission is rejected, then admitted
 // again after capacity frees up.
 func TestQueueFullBackpressure(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1})
 	release := make(chan struct{})
 	running := make(chan struct{}, 8)
 	s.testHoldRun = func(*Job) {
@@ -254,7 +265,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 
 // TestCancelQueuedAndRunning covers both cancellation paths.
 func TestCancelQueuedAndRunning(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	gate := make(chan struct{})
 	running := make(chan struct{}, 16)
 	s.testHoldRun = func(*Job) {
@@ -315,7 +326,7 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 
 // TestInvalidSubmissions exercises admission control.
 func TestInvalidSubmissions(t *testing.T) {
-	s := New(Config{MaxReps: 10})
+	s := mustNew(t, Config{MaxReps: 10})
 	defer s.Close()
 
 	if _, _, _, err := s.Submit(scenario.Spec{}, 2); err == nil {
@@ -335,7 +346,7 @@ func TestDiskPersistence(t *testing.T) {
 	dir := t.TempDir()
 	spec := tinySpec("persist")
 
-	s1 := New(Config{CacheDir: dir})
+	s1 := mustNew(t, Config{CacheDir: dir})
 	j1, _, _, err := s1.Submit(spec, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -347,7 +358,7 @@ func TestDiskPersistence(t *testing.T) {
 	}
 	s1.Close()
 
-	s2 := New(Config{CacheDir: dir})
+	s2 := mustNew(t, Config{CacheDir: dir})
 	defer s2.Close()
 	j2, cached, _, err := s2.Submit(spec, 3)
 	if err != nil {
@@ -366,7 +377,7 @@ func TestDiskPersistence(t *testing.T) {
 	}
 
 	// A corrupted cache file must be ignored, not served.
-	s3 := New(Config{CacheDir: t.TempDir()})
+	s3 := mustNew(t, Config{CacheDir: t.TempDir()})
 	defer s3.Close()
 	key, _ := scenario.Fingerprint(spec, 3)
 	if err := os.WriteFile(s3.cache.path(key), []byte("{not json"), 0o644); err != nil {
@@ -383,7 +394,7 @@ func TestDiskPersistence(t *testing.T) {
 
 // TestLRUEviction bounds the memory tier.
 func TestLRUEviction(t *testing.T) {
-	s := New(Config{CacheEntries: 2})
+	s := mustNew(t, Config{CacheEntries: 2})
 	defer s.Close()
 	for i := 0; i < 3; i++ {
 		j, _, _, err := s.Submit(tinySpec(fmt.Sprintf("evict-%d", i)), 2)
@@ -409,7 +420,7 @@ func TestLRUEviction(t *testing.T) {
 // status, events stream, result (JSON and text), repeat-submit cache
 // hit, cancel, stats, health.
 func TestHTTPAPI(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -568,7 +579,7 @@ func TestHTTPAPI(t *testing.T) {
 
 // TestHTTPCancel cancels a queued job over the API.
 func TestHTTPCancel(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	release := make(chan struct{})
 	running := make(chan struct{}, 8)
 	s.testHoldRun = func(*Job) {
@@ -618,7 +629,7 @@ func TestParallelRepWorkersBitIdentical(t *testing.T) {
 	spec := sweepSpec("parallel-identical")
 	var results [][]byte
 	for _, workers := range []int{1, 4} {
-		s := New(Config{RepWorkers: workers})
+		s := mustNew(t, Config{RepWorkers: workers})
 		j, _, _, err := s.Submit(spec, 5)
 		if err != nil {
 			t.Fatal(err)
@@ -641,7 +652,7 @@ func TestParallelRepWorkersBitIdentical(t *testing.T) {
 // identical submission must NOT coalesce onto that corpse — it must
 // get a fresh job that actually runs.
 func TestResubmitAfterQueuedCancel(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	gate := make(chan struct{})
 	running := make(chan struct{}, 16)
 	s.testHoldRun = func(*Job) {
@@ -683,7 +694,7 @@ func TestResubmitAfterQueuedCancel(t *testing.T) {
 // TestJobRegistryBounded: beyond MaxJobs the oldest terminal jobs are
 // evicted (404 afterwards), while live jobs are never touched.
 func TestJobRegistryBounded(t *testing.T) {
-	s := New(Config{MaxJobs: 3})
+	s := mustNew(t, Config{MaxJobs: 3})
 	defer s.Close()
 
 	var ids []string
@@ -721,7 +732,10 @@ func TestJobRegistryBounded(t *testing.T) {
 // TestCacheByteBudget: the memory tier evicts by bytes as well as by
 // entry count, but always retains the newest entry.
 func TestCacheByteBudget(t *testing.T) {
-	c := newCache(100, 1, "") // 1-byte budget: any two entries overflow
+	c, err := newCache(100, 1, "") // 1-byte budget: any two entries overflow
+	if err != nil {
+		t.Fatal(err)
+	}
 	big := entry{key: "a", json: []byte(`{"x":1}`), text: "aaa"}
 	c.put(big)
 	if c.len() != 1 {

@@ -16,9 +16,65 @@ func TestSummarizeBasics(t *testing.T) {
 	if math.Abs(s.StdDev-want) > 1e-12 {
 		t.Errorf("stddev %v, want %v", s.StdDev, want)
 	}
-	wantCI := 1.96 * want / math.Sqrt(5)
+	wantCI := 2.776 * want / math.Sqrt(5) // t(0.975, 4) = 2.776
 	if math.Abs(s.CI95-wantCI) > 1e-12 {
 		t.Errorf("ci95 %v, want %v", s.CI95, wantCI)
+	}
+}
+
+// TestTCrit95Quantiles pins the Student-t critical values the CI uses —
+// in particular the n=3 (df=2) value, which is 2.2× the normal 1.96 the
+// old code hardcoded, and the n=30 (df=29) value near the normal limit.
+func TestTCrit95Quantiles(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706},
+		{2, 4.303}, // n=3, the quick-run rep count
+		{4, 2.776},
+		{29, 2.045}, // n=30
+		{30, 2.042},
+	}
+	for _, tc := range cases {
+		if got := TCrit95(tc.df); got != tc.want {
+			t.Errorf("TCrit95(%d) = %v, want %v", tc.df, got, tc.want)
+		}
+	}
+	// Beyond the table: monotone decreasing toward the normal quantile.
+	prev := TCrit95(30)
+	for _, df := range []int{31, 40, 60, 120, 1000, 100000} {
+		got := TCrit95(df)
+		if got > prev+1e-12 {
+			t.Errorf("TCrit95 not decreasing at df=%d: %v > %v", df, got, prev)
+		}
+		if got < 1.9599 {
+			t.Errorf("TCrit95(%d) = %v fell below the normal quantile", df, got)
+		}
+		prev = got
+	}
+	if got := TCrit95(100000); math.Abs(got-1.95996) > 1e-3 {
+		t.Errorf("TCrit95(1e5) = %v, want ≈ 1.96", got)
+	}
+	// t(0.975, 40) = 2.0211; the tail expansion must be ~1e-4 accurate.
+	if got := TCrit95(40); math.Abs(got-2.0211) > 5e-4 {
+		t.Errorf("TCrit95(40) = %v, want ≈ 2.0211", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TCrit95(0) accepted")
+		}
+	}()
+	TCrit95(0)
+}
+
+// TestSummarizeCIUsesStudentT: the CI of a 3-sample summary must carry
+// the t(0.975, 2) = 4.303 multiplier, not the normal 1.96.
+func TestSummarizeCIUsesStudentT(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	want := 4.303 * s.StdDev / math.Sqrt(3)
+	if math.Abs(s.CI95-want) > 1e-12 {
+		t.Errorf("n=3 ci95 = %v, want %v (2.2× the normal approximation)", s.CI95, want)
 	}
 }
 

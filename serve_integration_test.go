@@ -17,6 +17,90 @@ import (
 	"repro/internal/serve"
 )
 
+// TestPredictMatchesCLI is the model-engine acceptance pin: the
+// daemon's synchronous POST /v1/predict and `sim1901 -scenario -engine
+// model` must return byte-identical reports for the same spec, cached
+// or not.
+func TestPredictMatchesCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	sim1901 := buildTool(t, bin, "sim1901")
+	plcsrv := buildTool(t, bin, "plcsrv")
+	const spec = "examples/scenarios/model-saturation-sweep.json"
+
+	// Reference: the CLI's exact bytes. -engine model on an
+	// already-model spec is a no-op override, exercising the flag.
+	cli := exec.Command(sim1901, "-scenario", spec, "-engine", "model")
+	var cliStderr bytes.Buffer
+	cli.Stderr = &cliStderr
+	want, err := cli.Output()
+	if err != nil {
+		t.Fatalf("sim1901: %v\n%s", err, cliStderr.String())
+	}
+
+	srv := exec.Command(plcsrv, "-listen", "127.0.0.1:0")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("plcsrv never printed its address")
+	}
+
+	specJSON, err := os.ReadFile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"spec":%s}`, specJSON)
+	for round, wantCache := range []string{"miss", "hit"} {
+		resp, err := http.Post(base+"/v1/predict?format=text", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict round %d: status %d\n%s", round, resp.StatusCode, got)
+		}
+		if xc := resp.Header.Get("X-Cache"); xc != wantCache {
+			t.Errorf("predict round %d: X-Cache %q, want %q", round, xc, wantCache)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("predict round %d differs from sim1901 -engine model:\n--- served ---\n%s--- cli ---\n%s", round, got, want)
+		}
+	}
+}
+
 // TestServeMatchesCLI is the serving architecture's acceptance pin:
 // plcsrv serves concurrent scenario submissions through the job queue,
 // a repeated identical submission is answered from the cache
