@@ -26,8 +26,10 @@ bench:
 	@rm -f bench.out
 	@echo "wrote BENCH_results.json"
 
-# fuzz-smoke gives each scenario fuzzer a short budget — the CI
-# regression net; long exploratory runs raise -fuzztime locally.
+# fuzz-smoke gives each scenario/campaign fuzzer a short budget — the
+# CI regression net; long exploratory runs raise -fuzztime locally.
 fuzz-smoke:
 	go test ./internal/scenario -run=XXX -fuzz=FuzzSpecDecode -fuzztime=15s
 	go test ./internal/scenario -run=XXX -fuzz=FuzzNormalizeIdempotent -fuzztime=15s
+	go test ./internal/campaign -run=XXX -fuzz=FuzzCampaignDecode -fuzztime=15s
+	go test ./internal/campaign -run=XXX -fuzz=FuzzCampaignExpand -fuzztime=15s

@@ -209,3 +209,128 @@ func TestScenarioCLI(t *testing.T) {
 		t.Errorf("missing scenario file accepted:\n%s", out)
 	}
 }
+
+// TestCampaignCLI exercises campaign mode end to end through the real
+// binary: validation output, the consolidated grid table with serial
+// output byte-identical to -parallel, and fail-fast -reps / campaign
+// replication-bound validation that names the offending flag or field.
+func TestCampaignCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	path := filepath.Join(bin, "sim1901")
+	if out, err := exec.Command("go", "build", "-o", path, "./cmd/sim1901").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(path, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("sim1901 %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	vout := run("-campaign", "examples/campaigns/saturation-error-grid.json", "-validate")
+	if !strings.Contains(vout, "ok: campaign saturation-error-grid: 2 axes, 9 points") {
+		t.Fatalf("-validate output unexpected:\n%s", vout)
+	}
+
+	serial := run("-campaign", "testdata/campaigns/tiny-grid.json")
+	parallel := run("-campaign", "testdata/campaigns/tiny-grid.json", "-parallel")
+	if serial != parallel {
+		t.Fatalf("serial and -parallel campaign output differ:\n%s\n---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "4 points") {
+		t.Fatalf("campaign header does not describe the grid:\n%s", serial)
+	}
+
+	// The adaptive example must converge within its replication cap and
+	// meet the requested half-width on every point.
+	aout := run("-campaign", "examples/campaigns/adaptive-throughput.json")
+	for _, line := range strings.Split(aout, "\n") {
+		if strings.Contains(line, "NO") {
+			t.Errorf("adaptive example did not converge: %s", line)
+		}
+	}
+	ciRe := regexp.MustCompile(`([0-9.]+) ± ([0-9.]+)\s*$`)
+	points := 0
+	for _, line := range strings.Split(aout, "\n") {
+		m := ciRe.FindStringSubmatch(line)
+		if m == nil || strings.HasPrefix(line, "#") {
+			continue
+		}
+		points++
+		if hw, _ := strconv.ParseFloat(m[2], 64); hw > 0.005 {
+			t.Errorf("norm_throughput CI half-width %v above the 0.005 target: %s", hw, line)
+		}
+	}
+	if points != 5 {
+		t.Errorf("adaptive example rendered %d grid rows, want 5:\n%s", points, aout)
+	}
+
+	// Fail-fast validation, naming the flag or field.
+	fails := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-scenario", "testdata/scenarios/tiny-sweep.json", "-reps", "0"}, "-reps = 0"},
+		{[]string{"-scenario", "x.json", "-campaign", "y.json"}, "mutually exclusive"},
+		{[]string{"-campaign", "examples/campaigns/model-cw-grid.json", "-engine", "sim"}, "do not apply"},
+		// -reps explicitly set alongside -campaign must error, not be
+		// silently ignored (the campaign file owns its policy).
+		{[]string{"-campaign", "examples/campaigns/model-cw-grid.json", "-reps", "5"}, "do not apply"},
+	}
+	for _, tc := range fails {
+		out, err := exec.Command(path, tc.args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("sim1901 %v accepted bad input:\n%s", tc.args, out)
+			continue
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("sim1901 %v error does not mention %q:\n%s", tc.args, tc.want, out)
+		}
+	}
+
+	// plcbench mirrors the flag validation: mutually exclusive modes
+	// and a rejected -reps alongside -campaign.
+	pb := filepath.Join(bin, "plcbench")
+	if out, err := exec.Command("go", "build", "-o", pb, "./cmd/plcbench").CombinedOutput(); err != nil {
+		t.Fatalf("build plcbench: %v\n%s", err, out)
+	}
+	pbFails := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-scenario", "a.json", "-campaign", "b.json"}, "mutually exclusive"},
+		{[]string{"-campaign", "examples/campaigns/model-cw-grid.json", "-reps", "5"}, "does not apply"},
+		{[]string{"-scenario", "testdata/scenarios/tiny-sweep.json", "-reps", "0"}, "-reps = 0"},
+	}
+	for _, tc := range pbFails {
+		out, err := exec.Command(pb, tc.args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("plcbench %v accepted bad input:\n%s", tc.args, out)
+			continue
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("plcbench %v error does not mention %q:\n%s", tc.args, tc.want, out)
+		}
+	}
+
+	// A campaign whose min_reps exceeds max_reps must fail naming both.
+	bad := filepath.Join(bin, "bad.json")
+	spec := `{"name":"bad","base":{"name":"b","sim_time_us":1e6,"stations":[{"count":1}]},` +
+		`"axes":[{"path":"n","values":[1,2]}],"min_reps":9,"max_reps":3,` +
+		`"targets":[{"metric":"norm_throughput","ci":0.01}]}`
+	if err := os.WriteFile(bad, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(path, "-campaign", bad, "-validate").CombinedOutput()
+	if err == nil {
+		t.Fatalf("min_reps > max_reps accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), `"min_reps" = 9 > "max_reps" = 3`) {
+		t.Errorf("error does not name min_reps/max_reps:\n%s", out)
+	}
+}

@@ -13,6 +13,11 @@
 //
 //	plcbench -scenario examples/scenarios/poisson-load.json -reps 10
 //
+// Campaign mode renders a whole parameter grid as one consolidated
+// table, one row per grid point with its converged replication count:
+//
+//	plcbench -campaign examples/campaigns/saturation-error-grid.json -format json
+//
 // -parallel distributes each experiment's independent sweep points
 // (station counts, loads, candidate configurations, …) across
 // GOMAXPROCS goroutines. Every point owns its random streams and
@@ -29,6 +34,7 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
@@ -148,18 +154,60 @@ func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment id or 'all': "+ids())
 		quick    = flag.Bool("quick", false, "short durations for smoke runs")
-		format   = flag.String("format", "md", "md | csv")
+		format   = flag.String("format", "md", "md | csv | json")
 		out      = flag.String("out", "", "output directory (default stdout)")
 		parallel = flag.Bool("parallel", false, "fan independent sweep points across GOMAXPROCS goroutines (bit-identical output)")
 		scenF    = flag.String("scenario", "", "render a declarative scenario's replication statistics instead of a canned experiment")
+		campF    = flag.String("campaign", "", "render a declarative campaign's grid results instead of a canned experiment")
 		reps     = flag.Int("reps", 10, "independent-seed replications per scenario point (with -scenario)")
 	)
 	flag.Parse()
+	switch *format {
+	case "md", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "plcbench: -format %s: want md, csv or json\n", *format)
+		os.Exit(2)
+	}
 	if *parallel {
 		experiments.SetWorkers(0) // 0 = GOMAXPROCS
 	}
+	if *campF != "" && *scenF != "" {
+		fmt.Fprintln(os.Stderr, "plcbench: -scenario and -campaign are mutually exclusive")
+		os.Exit(2)
+	}
+
+	if *campF != "" {
+		// A campaign file owns its replication policy; a -reps that
+		// silently did nothing would be worse than an error.
+		repsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "reps" {
+				repsSet = true
+			}
+		})
+		if repsSet {
+			fmt.Fprintln(os.Stderr, "plcbench: -reps does not apply to -campaign (set \"reps\" or min_reps/max_reps in the campaign file)")
+			os.Exit(2)
+		}
+		t, err := campaignTable(*campF, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plcbench:", err)
+			os.Exit(1)
+		}
+		if err := render(t, *format, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "plcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *scenF != "" {
+		if *reps < 1 {
+			// Fail fast, naming the flag: asking for zero or negative
+			// replications is always a harness mistake.
+			fmt.Fprintf(os.Stderr, "plcbench: -reps = %d: replications must be ≥ 1\n", *reps)
+			os.Exit(2)
+		}
 		t, err := scenarioTable(*scenF, *reps, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "plcbench:", err)
@@ -242,6 +290,64 @@ func scenarioTable(path string, reps int, parallel bool) (*experiments.Table, er
 	return t, nil
 }
 
+// campaignTable runs a declarative campaign and renders the grid as one
+// consolidated table: one row per grid point, with the point's axis
+// coordinate, its (possibly adaptive) replication count, convergence
+// status and the headline metrics as mean ± 95% CI.
+func campaignTable(path string, parallel bool) (*experiments.Table, error) {
+	spec, err := campaign.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := campaign.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report, err := campaign.Run(c, campaign.Opts{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	s := report.Spec
+	repsDesc := fmt.Sprintf("%d replications per point", s.Reps)
+	if s.Adaptive() {
+		repsDesc = fmt.Sprintf("adaptive %d–%d replications", s.MinReps, s.MaxReps)
+	}
+	metrics := s.HeadlineMetrics()
+	t := &experiments.Table{
+		ID:     "campaign-" + s.Name,
+		Title:  fmt.Sprintf("Campaign %s: %d points, %s (engine %s)", s.Name, len(report.Points), repsDesc, s.Base.Engine),
+		Note:   s.Description,
+		Header: []string{},
+	}
+	for _, a := range s.Axes {
+		t.Header = append(t.Header, a.Path)
+	}
+	t.Header = append(t.Header, "reps", "converged")
+	for _, m := range metrics {
+		t.Header = append(t.Header, m+" mean", m+" ±95% CI")
+	}
+	// One shared reduction (campaign.Report.Grid) feeds every campaign
+	// table surface, so flags and metric selection cannot drift from
+	// the sim1901 text rendering.
+	for _, g := range report.Grid() {
+		row := append([]string(nil), g.Labels...)
+		row = append(row, fmt.Sprint(g.Reps), g.Conv)
+		for _, ms := range g.Metrics {
+			if ms == nil {
+				row = append(row, "-", "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.6f", ms.Summary.Mean), fmt.Sprintf("%.6f", ms.Summary.CI95))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
 func ids() string {
 	out := make([]string, len(all))
 	for i, e := range all {
@@ -257,8 +363,11 @@ func render(t *experiments.Table, format, outDir string) error {
 			return err
 		}
 		ext := ".md"
-		if format == "csv" {
+		switch format {
+		case "csv":
 			ext = ".csv"
+		case "json":
+			ext = ".json"
 		}
 		f, err := os.Create(filepath.Join(outDir, t.ID+ext))
 		if err != nil {
@@ -267,8 +376,11 @@ func render(t *experiments.Table, format, outDir string) error {
 		defer f.Close()
 		w = f
 	}
-	if format == "csv" {
+	switch format {
+	case "csv":
 		return t.WriteCSV(w)
+	case "json":
+		return t.WriteJSON(w)
 	}
 	return t.WriteMarkdown(w)
 }

@@ -19,6 +19,15 @@
 //	curl -s -X POST 127.0.0.1:8277/v1/predict \
 //	     -d "{\"spec\": $(cat examples/scenarios/model-saturation-sweep.json)}"
 //
+// Campaigns — multi-axis parameter grids over a base scenario, with
+// fixed or adaptive replication — ride the same queue and cache; every
+// grid point dedupes against individual submissions and reruns are
+// answered without simulation:
+//
+//	curl -s -X POST 127.0.0.1:8277/v1/campaigns \
+//	     -d "{\"campaign\": $(cat examples/campaigns/saturation-error-grid.json)}"
+//	curl -s "127.0.0.1:8277/v1/campaigns/c1/result?format=text"
+//
 // See docs/SERVING.md for the full API and the determinism guarantee.
 package main
 

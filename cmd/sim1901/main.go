@@ -37,6 +37,17 @@
 //
 // runs both the model and the simulator and prints the per-metric
 // divergence — the model-accuracy study in CLI form.
+//
+// Campaign mode runs a whole family of scenarios from one file:
+//
+//	sim1901 -campaign examples/campaigns/saturation-error-grid.json -parallel
+//
+// expands the campaign's axis cross-product into concrete scenarios
+// (station count × channel error rate × …), runs each point's
+// replications — fixed, or adaptive against per-metric confidence
+// targets — and prints one consolidated table, one row per grid point
+// with its converged replication count. -validate parses, expands and
+// compiles the campaign without running it.
 package main
 
 import (
@@ -47,11 +58,44 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/config"
 	"repro/internal/par"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
+
+// runCampaign is the grid mode: load, expand, run every point, print
+// the consolidated table.
+func runCampaign(path string, parallel, validateOnly bool) {
+	spec, err := campaign.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim1901:", err)
+		os.Exit(2)
+	}
+	c, err := campaign.Compile(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim1901:", err)
+		os.Exit(2)
+	}
+	if validateOnly {
+		fmt.Println("ok:", c.Describe())
+		return
+	}
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report, err := campaign.Run(c, campaign.Opts{Workers: workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sim1901:", err)
+		os.Exit(2)
+	}
+	if err := report.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sim1901:", err)
+		os.Exit(1)
+	}
+}
 
 // runScenario is the declarative mode: load, compile, replicate, print.
 // engine, when non-empty, overrides the spec's engine field; compare
@@ -134,14 +178,41 @@ func main() {
 		parallel    = flag.Bool("parallel", false, "run sweep points on GOMAXPROCS goroutines (bit-identical output)")
 		verbose     = flag.Bool("v", false, "also print per-station statistics")
 		scenarioF   = flag.String("scenario", "", "declarative scenario JSON file (replaces -n/-cw/-dc/...)")
+		campaignF   = flag.String("campaign", "", "declarative campaign JSON file: a base scenario swept over axis cross-products")
 		reps        = flag.Int("reps", 10, "independent-seed replications per scenario point (with -scenario)")
-		validate    = flag.Bool("validate", false, "parse and compile -scenario, report, and exit without running")
+		validate    = flag.Bool("validate", false, "parse and compile -scenario/-campaign, report, and exit without running")
 		engine      = flag.String("engine", "", "override the scenario's engine: sim, mac, model or auto (with -scenario)")
 		compare     = flag.Bool("compare", false, "run -scenario through both the analytic model and the simulator and print per-metric divergence")
 	)
 	flag.Parse()
 
+	if *campaignF != "" && *scenarioF != "" {
+		fmt.Fprintln(os.Stderr, "sim1901: -scenario and -campaign are mutually exclusive")
+		os.Exit(2)
+	}
+	if *campaignF != "" {
+		// A campaign file owns its engine and replication policy; a
+		// flag that silently did nothing would be worse than an error.
+		repsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "reps" {
+				repsSet = true
+			}
+		})
+		if *engine != "" || *compare || repsSet {
+			fmt.Fprintln(os.Stderr, "sim1901: -engine, -compare and -reps do not apply to -campaign (set the engine and replication policy in the campaign file)")
+			os.Exit(2)
+		}
+		runCampaign(*campaignF, *parallel, *validate)
+		return
+	}
 	if *scenarioF != "" {
+		if *reps < 1 {
+			// Fail fast, naming the flag: asking for zero or negative
+			// replications is always a harness mistake.
+			fmt.Fprintf(os.Stderr, "sim1901: -reps = %d: replications must be ≥ 1\n", *reps)
+			os.Exit(2)
+		}
 		runScenario(*scenarioF, *reps, *parallel, *validate, *engine, *compare)
 		return
 	}

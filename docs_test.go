@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/scenario"
 )
 
@@ -29,6 +30,30 @@ func TestScenarioExamplesCompile(t *testing.T) {
 			continue
 		}
 		if _, err := scenario.Compile(spec); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+// TestCampaignExamplesCompile keeps every shipped campaign file honest:
+// each must parse, validate, expand and compile. CI additionally runs
+// each through `sim1901 -campaign f -validate`; this test catches the
+// same drift from plain `go test ./...`.
+func TestCampaignExamplesCompile(t *testing.T) {
+	paths, err := filepath.Glob("examples/campaigns/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("found %d campaign examples, want ≥ 3 regimes", len(paths))
+	}
+	for _, p := range paths {
+		spec, err := campaign.Load(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if _, err := campaign.Compile(spec); err != nil {
 			t.Errorf("%s: %v", p, err)
 		}
 	}
@@ -73,7 +98,7 @@ func TestReproducingCommandsResolve(t *testing.T) {
 
 	cmdRe := regexp.MustCompile(`go run \./cmd/([a-z0-9]+)((?:\s+[^\s|]+)*)`)
 	flagRe := regexp.MustCompile(`(^|\s)-([a-z][a-z0-9-]*)`)
-	fileRe := regexp.MustCompile(`examples/scenarios/[^\s|]+\.json`)
+	fileRe := regexp.MustCompile(`examples/(scenarios|campaigns)/[^\s|]+\.json`)
 	seen := 0
 	for _, chunk := range chunks {
 		for _, m := range cmdRe.FindAllStringSubmatch(chunk, -1) {

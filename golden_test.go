@@ -41,6 +41,7 @@ func TestGoldenCLIOutput(t *testing.T) {
 	sim1901 := buildTool(t, bin, "sim1901")
 	plcbench := buildTool(t, bin, "plcbench")
 	const spec = "testdata/scenarios/tiny-sweep.json"
+	const camp = "testdata/campaigns/tiny-grid.json"
 
 	cases := []struct {
 		golden string
@@ -52,6 +53,12 @@ func TestGoldenCLIOutput(t *testing.T) {
 		{"sim1901-scenario.txt", []string{sim1901, "-scenario", spec, "-reps", "3", "-parallel"}},
 		{"plcbench-scenario.md", []string{plcbench, "-scenario", spec, "-reps", "3", "-format", "md"}},
 		{"plcbench-scenario.csv", []string{plcbench, "-scenario", spec, "-reps", "3", "-format", "csv"}},
+		{"plcbench-scenario.json", []string{plcbench, "-scenario", spec, "-reps", "3", "-format", "json"}},
+		// Campaign mode: the consolidated grid table, serial ≡ -parallel.
+		{"sim1901-campaign.txt", []string{sim1901, "-campaign", camp}},
+		{"sim1901-campaign.txt", []string{sim1901, "-campaign", camp, "-parallel"}},
+		{"plcbench-campaign.md", []string{plcbench, "-campaign", camp, "-format", "md"}},
+		{"plcbench-campaign.json", []string{plcbench, "-campaign", camp, "-format", "json"}},
 	}
 	for _, tc := range cases {
 		name := fmt.Sprintf("%s_%s", filepath.Base(tc.cmd[0]), filepath.Base(tc.golden))

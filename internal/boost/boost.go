@@ -11,19 +11,22 @@
 // the number of contenders in a home network is unknown to the devices
 // — the same robustness argument the paper's tuning makes.
 //
-// Model scoring runs through the compiled scenario path: each candidate
-// lowers to a model-engine scenario.Spec (sweep_n over the evaluation
-// counts) and is answered by scenario.RunOnce — the same code path the
-// serving daemon's /v1/predict endpoint and model-engine job queue use,
-// so a service can drive the identical search one prediction at a time.
+// Model scoring runs through the compiled scenario path: a single
+// candidate lowers to a model-engine scenario.Spec (ScoreModel), and
+// the whole space lowers to a campaign (SearchCampaign) — a
+// model-engine base scenario swept over cw/dc/n axes — so the search
+// grid is the same object the serving daemon's /v1/campaigns endpoint
+// runs, and "run many related scenarios" is one code path everywhere.
 package boost
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/backoff"
+	"repro/internal/campaign"
 	"repro/internal/config"
 	"repro/internal/fairness"
 	"repro/internal/par"
@@ -200,8 +203,79 @@ func ScoreModel(p config.Params, ns []int) (Candidate, error) {
 	return c, nil
 }
 
+// SearchCampaign lowers the whole candidate space onto the campaign
+// layer: a model-engine base scenario swept over three axes —
+// stations[0].cw (one vector per CW0×growth pair), stations[0].dc (the
+// deferral schedules) and n (the evaluation station counts) — in the
+// exact row-major order Enumerate materializes candidates. Running many
+// related scenarios is one code path: the grid a Search evaluates is
+// the same campaign a `POST /v1/campaigns` submission of this spec
+// runs, point for point and fingerprint for fingerprint.
+func SearchCampaign(space Space, ns []int) (campaign.Spec, error) {
+	if len(ns) == 0 {
+		return campaign.Spec{}, fmt.Errorf("boost: no station counts to evaluate")
+	}
+	params, err := space.Enumerate()
+	if err != nil {
+		return campaign.Spec{}, err
+	}
+	return searchCampaign(space, params, ns)
+}
+
+// searchCampaign builds the campaign from an already-enumerated
+// candidate list, so Search and SearchCampaign share one enumeration
+// and one ordering (the point-index math in Search depends on it).
+func searchCampaign(space Space, params []config.Params, ns []int) (campaign.Spec, error) {
+	rawInts := func(vs []int) json.RawMessage {
+		data, err := json.Marshal(vs)
+		if err != nil {
+			panic(fmt.Sprintf("boost: marshal int vector: %v", err)) // unreachable
+		}
+		return data
+	}
+	// Enumerate orders candidates (cw0, growth)-major, dc-minor: the cw
+	// vector of candidate k*len(DCSchedules) is the k-th distinct
+	// window schedule.
+	var cwVals []json.RawMessage
+	for k := 0; k < len(params); k += len(space.DCSchedules) {
+		cwVals = append(cwVals, rawInts(params[k].CW))
+	}
+	var dcVals []json.RawMessage
+	for _, dc := range space.DCSchedules {
+		dcVals = append(dcVals, rawInts(dc))
+	}
+	var nVals []json.RawMessage
+	for _, n := range ns {
+		data, err := json.Marshal(n)
+		if err != nil {
+			return campaign.Spec{}, err // unreachable: ints always marshal
+		}
+		nVals = append(nVals, data)
+	}
+	return campaign.Spec{
+		Name:        "boost-search",
+		Description: "Model-guided (cw, dc) search grid: every candidate configuration scored across the evaluation station counts.",
+		Base: scenario.Spec{
+			Name:          "boost-search",
+			Engine:        scenario.EngineModel,
+			SimTimeMicros: 1e6, // rates and probabilities are horizon-free
+			Stations:      []scenario.Group{{Count: 1, CW: params[0].CW, DC: params[0].DC}},
+		},
+		Axes: []campaign.Axis{
+			{Path: "stations[0].cw", Values: cwVals},
+			{Path: "stations[0].dc", Values: dcVals},
+			{Path: "n", Values: nVals},
+		},
+		Reps: 1, // model points are deterministic
+	}, nil
+}
+
 // Search scores the whole space with the model and returns candidates
 // sorted by descending score. ns must be non-empty.
+//
+// The sweep runs as a campaign (SearchCampaign) over the process-wide
+// par width: one grid point per (candidate, N) pair, answered through
+// the same compiled scenario path the serving daemon uses.
 func Search(space Space, ns []int) ([]Candidate, error) {
 	if len(ns) == 0 {
 		return nil, fmt.Errorf("boost: no station counts to evaluate")
@@ -210,13 +284,47 @@ func Search(space Space, ns []int) ([]Candidate, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Candidates are scored independently and collected in input order,
-	// so the search result is identical for any worker count.
-	out, err := par.MapDefault(params, func(_ int, p config.Params) (Candidate, error) {
-		return ScoreModel(p, ns)
-	})
+	spec, err := searchCampaign(space, params, ns)
 	if err != nil {
 		return nil, err
+	}
+	compiled, err := campaign.Compile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("boost: compile search campaign: %w", err)
+	}
+	report, err := campaign.Run(compiled, campaign.Opts{Workers: par.DefaultWorkers()})
+	if err != nil {
+		return nil, fmt.Errorf("boost: run search campaign: %w", err)
+	}
+	if len(report.Points) != len(params)*len(ns) {
+		return nil, fmt.Errorf("boost: campaign expanded %d points, want %d candidates × %d counts",
+			len(report.Points), len(params), len(ns))
+	}
+
+	out := make([]Candidate, len(params))
+	for ci, p := range params {
+		out[ci] = Candidate{
+			Params:     p,
+			Throughput: make(map[int]float64, len(ns)),
+			Collision:  make(map[int]float64, len(ns)),
+			Score:      math.Inf(1),
+		}
+	}
+	// Row-major grid, n innermost: point index = candidate·len(ns) + ni.
+	for i, pt := range report.Points {
+		ci, ni := i/len(ns), i%len(ns)
+		c := &out[ci]
+		for _, m := range pt.Report.Points[0].Metrics {
+			switch m.Name {
+			case "norm_throughput":
+				c.Throughput[ns[ni]] = m.Summary.Mean
+			case "collision_pr":
+				c.Collision[ns[ni]] = m.Summary.Mean
+			}
+		}
+		if thr := c.Throughput[ns[ni]]; thr < c.Score {
+			c.Score = thr
+		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
 	return out, nil

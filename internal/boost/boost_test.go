@@ -218,3 +218,76 @@ func TestDeferralDisabledLosesUnderContention(t *testing.T) {
 			cn.Collision[15], cs.Collision[15])
 	}
 }
+
+// TestSearchMatchesScoreModel pins the campaign refactor: the grid a
+// Search runs through the campaign layer must reproduce per-candidate
+// ScoreModel results exactly — same throughput/collision maps, same
+// scores, same Table-ready ordering.
+func TestSearchMatchesScoreModel(t *testing.T) {
+	ns := []int{2, 5, 10}
+	space := DefaultSpace()
+	cands, err := Search(space, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := space.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != len(params) {
+		t.Fatalf("search returned %d candidates for %d params", len(cands), len(params))
+	}
+	byName := map[string]Candidate{}
+	for _, c := range cands {
+		byName[c.Params.Name] = c
+	}
+	for _, p := range params {
+		want, err := ScoreModel(p, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := byName[p.Name]
+		if !ok {
+			t.Fatalf("candidate %s missing from search results", p.Name)
+		}
+		if got.Score != want.Score {
+			t.Errorf("%s: search score %v != ScoreModel %v", p.Name, got.Score, want.Score)
+		}
+		for _, n := range ns {
+			if got.Throughput[n] != want.Throughput[n] {
+				t.Errorf("%s N=%d: throughput %v != %v", p.Name, n, got.Throughput[n], want.Throughput[n])
+			}
+			if got.Collision[n] != want.Collision[n] {
+				t.Errorf("%s N=%d: collision %v != %v", p.Name, n, got.Collision[n], want.Collision[n])
+			}
+		}
+	}
+}
+
+// TestSearchCampaignShape sanity-checks the emitted campaign spec: the
+// axes cover the full candidate grid in Enumerate order, and the spec
+// itself validates (a client could POST it to /v1/campaigns verbatim).
+func TestSearchCampaignShape(t *testing.T) {
+	space := DefaultSpace()
+	ns := []int{2, 10}
+	spec, err := SearchCampaign(space, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("emitted campaign does not validate: %v", err)
+	}
+	params, err := space.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCW := len(params) / len(space.DCSchedules)
+	if len(spec.Axes) != 3 ||
+		len(spec.Axes[0].Values) != wantCW ||
+		len(spec.Axes[1].Values) != len(space.DCSchedules) ||
+		len(spec.Axes[2].Values) != len(ns) {
+		t.Fatalf("campaign axes %d/%d/%d, want %d/%d/%d",
+			len(spec.Axes[0].Values), len(spec.Axes[1].Values), len(spec.Axes[2].Values),
+			wantCW, len(space.DCSchedules), len(ns))
+	}
+}

@@ -1,0 +1,370 @@
+package campaign
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// pathSeg is one step of a parsed axis path: a JSON object key,
+// optionally followed by array indexes.
+type pathSeg struct {
+	key     string
+	indexes []int
+}
+
+// parsePath parses "stations[0].traffic.mean_interarrival_us"-style
+// axis paths: dot-separated JSON field names, each optionally indexed.
+// The alias "n" is handled by the caller before navigation.
+func parsePath(path string) ([]pathSeg, error) {
+	if path == "n" {
+		return nil, nil
+	}
+	var segs []pathSeg
+	for _, part := range strings.Split(path, ".") {
+		if part == "" {
+			return nil, fmt.Errorf("path %q has an empty segment", path)
+		}
+		key := part
+		var indexes []int
+		for {
+			open := strings.IndexByte(key, '[')
+			if open < 0 {
+				break
+			}
+			rest := key[open:]
+			key = key[:open]
+			for rest != "" {
+				if rest[0] != '[' {
+					return nil, fmt.Errorf("path %q: unexpected %q after index", path, rest)
+				}
+				close := strings.IndexByte(rest, ']')
+				if close < 0 {
+					return nil, fmt.Errorf("path %q: unclosed index bracket", path)
+				}
+				idx, err := strconv.Atoi(rest[1:close])
+				if err != nil || idx < 0 {
+					return nil, fmt.Errorf("path %q: bad index %q", path, rest[1:close])
+				}
+				indexes = append(indexes, idx)
+				rest = rest[close+1:]
+			}
+			break
+		}
+		if key == "" {
+			return nil, fmt.Errorf("path %q indexes an unnamed field", path)
+		}
+		segs = append(segs, pathSeg{key: key, indexes: indexes})
+	}
+	return segs, nil
+}
+
+// decodeDoc unmarshals JSON into a generic document with number
+// fidelity preserved: json.Number carries the original literal, so a
+// 64-bit seed survives the map round trip losslessly.
+func decodeDoc(data []byte) (map[string]any, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var doc map[string]any
+	if err := dec.Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// applyPath substitutes value at path inside doc (the generic JSON form
+// of a scenario spec). Missing object keys along the way are created —
+// normalization omits zero-valued fields, so a legitimate path may name
+// an absent key; a genuinely wrong path produces an unknown field that
+// the scenario re-parse rejects by name. Array indexes must exist:
+// an axis cannot grow the station list.
+func applyPath(doc map[string]any, path string, value any) error {
+	if path == "n" {
+		stations, ok := doc["stations"].([]any)
+		if !ok || len(stations) != 1 {
+			return fmt.Errorf("axis \"n\" requires exactly one station group")
+		}
+		group, ok := stations[0].(map[string]any)
+		if !ok {
+			return fmt.Errorf("axis \"n\": stations[0] is not an object")
+		}
+		group["count"] = value
+		return nil
+	}
+	segs, err := parsePath(path)
+	if err != nil {
+		return err
+	}
+	var cur any = doc
+	for si, seg := range segs {
+		obj, ok := cur.(map[string]any)
+		if !ok {
+			return fmt.Errorf("path %q: %q is not an object", path, strings.Join(pathPrefix(segs, si), "."))
+		}
+		last := si == len(segs)-1 && len(seg.indexes) == 0
+		if last {
+			obj[seg.key] = value
+			return nil
+		}
+		child, exists := obj[seg.key]
+		if !exists || child == nil {
+			if len(seg.indexes) > 0 {
+				return fmt.Errorf("path %q: %q is absent, cannot index into it", path, seg.key)
+			}
+			child = map[string]any{}
+			obj[seg.key] = child
+		}
+		for ii, idx := range seg.indexes {
+			arr, ok := child.([]any)
+			if !ok {
+				return fmt.Errorf("path %q: %q is not an array", path, seg.key)
+			}
+			if idx >= len(arr) {
+				return fmt.Errorf("path %q: index %d out of range (%q has %d entries)", path, idx, seg.key, len(arr))
+			}
+			lastIdx := si == len(segs)-1 && ii == len(seg.indexes)-1
+			if lastIdx {
+				arr[idx] = value
+				return nil
+			}
+			child = arr[idx]
+		}
+		cur = child
+	}
+	return fmt.Errorf("path %q resolved nowhere", path) // unreachable: the loop always returns
+}
+
+// pathPrefix names the path up to (excluding) segment si, for errors.
+func pathPrefix(segs []pathSeg, si int) []string {
+	out := make([]string, 0, si+1)
+	for _, s := range segs[:si+1] {
+		out = append(out, s.key)
+	}
+	return out
+}
+
+// golden is the SplitMix64 increment, shared with scenario.RepSeed's
+// derivation (2⁶⁴/φ).
+const golden = 0x9e3779b97f4a7c15
+
+// PointSeed derives grid point i's base seed under the given policy.
+// For "split" the offset base + golden·i makes the point's standalone
+// replication seeds RepSeed(split, PointSeed, 0, r) coincide with the
+// legacy sweep's RepSeed(split, base, i, r); "increment" reuses the
+// base seed at every point, the classic sweep convention.
+func PointSeed(policy string, base uint64, point int) uint64 {
+	if policy == scenario.SeedIncrement {
+		return base
+	}
+	return base + golden*uint64(point)
+}
+
+// AxisValue labels one substituted coordinate of a grid point.
+type AxisValue struct {
+	// Path is the axis path.
+	Path string `json:"path"`
+	// Value is the substituted value's compact JSON form.
+	Value json.RawMessage `json:"value"`
+}
+
+// Point is one expanded grid point, ready to run.
+type Point struct {
+	// Index is the point's row-major position in the grid.
+	Index int
+	// Labels give the point's coordinate on every axis, in axis order.
+	Labels []AxisValue
+	// Spec is the expanded, normalized scenario (per-point seed
+	// applied). Running it standalone reproduces the campaign's result
+	// for this point bit for bit.
+	Spec scenario.Spec
+	// Compiled is the scenario lowered onto its engine.
+	Compiled *scenario.Compiled
+}
+
+// Compiled is a campaign ready to run: the normalized spec plus every
+// expanded grid point in row-major order.
+type Compiled struct {
+	// Spec is the normalized campaign spec.
+	Spec Spec
+	// Points holds the expanded grid.
+	Points []Point
+}
+
+// Compile validates and normalizes the campaign and expands the grid:
+// every cross-product combination is substituted into the base
+// scenario, re-parsed (so a typo'd axis path fails by field name),
+// seeded per point, normalized and lowered onto its engine.
+func Compile(s Spec) (*Compiled, error) {
+	norm, err := s.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Spec: norm}
+
+	baseJSON, err := json.Marshal(norm.Base)
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s: marshal base: %w", norm.Name, err)
+	}
+	dims := make([]int, len(norm.Axes))
+	total := 1
+	for ai, a := range norm.Axes {
+		dims[ai] = len(a.Values)
+		total *= len(a.Values)
+	}
+
+	coord := make([]int, len(dims))
+	for idx := 0; idx < total; idx++ {
+		// Row-major: the last axis varies fastest.
+		rem := idx
+		for ai := len(dims) - 1; ai >= 0; ai-- {
+			coord[ai] = rem % dims[ai]
+			rem /= dims[ai]
+		}
+		p, err := c.expandPoint(baseJSON, idx, coord)
+		if err != nil {
+			return nil, err
+		}
+		c.Points = append(c.Points, p)
+	}
+	return c, nil
+}
+
+// expandPoint materializes one grid point from its axis coordinates.
+func (c *Compiled) expandPoint(baseJSON []byte, idx int, coord []int) (Point, error) {
+	s := c.Spec
+	p := Point{Index: idx}
+	doc, err := decodeDoc(baseJSON)
+	if err != nil {
+		return Point{}, fmt.Errorf("campaign %s: decode base: %w", s.Name, err)
+	}
+	for ai, a := range s.Axes {
+		raw := a.Values[coord[ai]]
+		p.Labels = append(p.Labels, AxisValue{Path: a.Path, Value: raw})
+		var value any
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.UseNumber()
+		if err := dec.Decode(&value); err != nil {
+			return Point{}, fmt.Errorf("campaign %s: point %d: axis %q value %s: %w", s.Name, idx, a.Path, raw, err)
+		}
+		if err := applyPath(doc, a.Path, value); err != nil {
+			return Point{}, fmt.Errorf("campaign %s: point %d: %w", s.Name, idx, err)
+		}
+	}
+	expanded, err := json.Marshal(doc)
+	if err != nil {
+		return Point{}, fmt.Errorf("campaign %s: point %d: re-encode: %w", s.Name, idx, err)
+	}
+	spec, err := scenario.Parse(expanded)
+	if err != nil {
+		// The likeliest cause is an axis path naming a field the
+		// scenario schema does not have; the parse error names it.
+		return Point{}, fmt.Errorf("campaign %s: point %s: %w", s.Name, p.describeCoord(), err)
+	}
+	spec.Seed = PointSeed(s.Base.SeedPolicy, s.Base.Seed, idx)
+	norm, err := spec.Normalized()
+	if err != nil {
+		return Point{}, fmt.Errorf("campaign %s: point %s: %w", s.Name, p.describeCoord(), err)
+	}
+	p.Spec = norm
+	p.Compiled, err = scenario.Compile(norm)
+	if err != nil {
+		return Point{}, fmt.Errorf("campaign %s: point %s: %w", s.Name, p.describeCoord(), err)
+	}
+	if err := c.checkTargets(p); err != nil {
+		return Point{}, err
+	}
+	return p, nil
+}
+
+// checkTargets verifies every convergence-target metric exists on the
+// point's engine, so a misspelled metric fails at compile time, not
+// mid-run.
+func (c *Compiled) checkTargets(p Point) error {
+	if !c.Spec.Adaptive() {
+		return nil
+	}
+	names := scenario.MetricNames(p.Spec.Engine)
+	for _, tg := range c.Spec.Targets {
+		found := false
+		for _, n := range names {
+			if n == tg.Metric {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("campaign %s: point %s: target metric %q is not reported by engine %s (have %s)",
+				c.Spec.Name, p.describeCoord(), tg.Metric, p.Spec.Engine, strings.Join(names, ", "))
+		}
+	}
+	return nil
+}
+
+// describeCoord renders a point's grid coordinate for error messages
+// and labels: "n=5, stations[0].error_prob=0.1".
+func (p Point) describeCoord() string {
+	parts := make([]string, len(p.Labels))
+	for i, l := range p.Labels {
+		parts[i] = fmt.Sprintf("%s=%s", l.Path, valueString(l.Value))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Describe summarizes a compiled campaign in one line — the -validate
+// output of `sim1901 -campaign` and the CI campaign check.
+func (c *Compiled) Describe() string {
+	s := c.Spec
+	reps := plural(s.Reps, "rep", "reps")
+	if s.Adaptive() {
+		reps = fmt.Sprintf("adaptive %d–%d reps (batch %d, %d targets)", s.MinReps, s.MaxReps, s.BatchReps, len(s.Targets))
+	}
+	return fmt.Sprintf("campaign %s: %s, %d points, base %s (engine %s), %s",
+		s.Name, plural(len(s.Axes), "axis", "axes"), len(c.Points), s.Base.Name, s.Base.Engine, reps)
+}
+
+// plural renders a count with the right noun form.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return fmt.Sprintf("%d %s", n, one)
+	}
+	return fmt.Sprintf("%d %s", n, many)
+}
+
+// Canonical returns the campaign's canonical byte form: the compact
+// JSON encoding of the normalized spec.
+func (s Spec) Canonical() ([]byte, error) {
+	norm, err := s.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(norm)
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s: canonical: %w", s.Name, err)
+	}
+	return data, nil
+}
+
+// Fingerprint content-addresses a campaign: a SHA-256 over a
+// "campaign\n" domain tag plus the canonical normalized spec, rendered
+// "sha256:<hex>". The replication policy, the base scenario's seed and
+// every axis value are all part of the normalized spec, so equal
+// fingerprints mean bit-identical campaign results — the property the
+// serving layer's cache relies on. The domain tag keeps campaign keys
+// disjoint from scenario.Fingerprint's point keys even in the shared
+// cache namespace.
+func Fingerprint(s Spec) (string, error) {
+	canon, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte("campaign\n"))
+	h.Write(canon)
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// seedFromExamples feeds every shipped campaign file into the corpus,
+// so the fuzzers start from the grammar the repository actually uses
+// (multi-axis grids, ranges, vector values, adaptive targets).
+func seedFromExamples(f *testing.F) {
+	paths, err := filepath.Glob("../../examples/campaigns/*.json")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no example campaigns found to seed the corpus")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Hand-picked hostile shapes beyond the examples.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","base":{"name":"b","sim_time_us":1,"stations":[{"count":1}]},"axes":[{"path":"n","values":[0]}]}`))
+	f.Add([]byte(`{"name":"x","base":{"name":"b","sim_time_us":1,"stations":[{"count":1}]},"axes":[{"path":"stations[9].cw","values":[[1]]}]}`))
+	f.Add([]byte(`{"name":"x","base":{"name":"b","sim_time_us":1,"stations":[{"count":1}]},"axes":[{"path":"n","from":1,"to":3,"step":0.5}],"min_reps":2,"max_reps":2,"targets":[{"metric":"collision_pr","rel_ci":0.5}]}`))
+}
+
+// FuzzCampaignDecode asserts the decode→normalize→encode→decode round
+// trip on arbitrary input: whenever a byte string parses and
+// normalizes, the normalized form must re-encode to JSON that parses
+// back to the very same normalized spec, and the fingerprint must be
+// stable across that trip (the serving cache's correctness depends on
+// it).
+func FuzzCampaignDecode(f *testing.F) {
+	seedFromExamples(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // not a campaign; rejection is the correct outcome
+		}
+		norm, err := s.Normalized()
+		if err != nil {
+			return // invalid campaign; rejection is the correct outcome
+		}
+		enc, err := norm.Marshal()
+		if err != nil {
+			t.Fatalf("normalized campaign does not marshal: %v", err)
+		}
+		back, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-encoded normalized campaign does not parse: %v\n%s", err, enc)
+		}
+		norm2, err := back.Normalized()
+		if err != nil {
+			t.Fatalf("re-decoded normalized campaign does not normalize: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(norm, norm2) {
+			t.Fatalf("round trip not lossless:\nfirst:  %+v\nsecond: %+v", norm, norm2)
+		}
+		f1, err := Fingerprint(s)
+		if err != nil {
+			t.Fatalf("valid campaign does not fingerprint: %v", err)
+		}
+		f2, err := Fingerprint(norm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f1 != f2 {
+			t.Fatalf("fingerprint unstable across normalization: %s vs %s", f1, f2)
+		}
+	})
+}
+
+// FuzzCampaignExpand asserts the expansion invariants: Compile never
+// panics; when it succeeds, the grid size is exactly the cross-product
+// of the axis value counts, every point's spec is normalized (running
+// it standalone is well defined), every axis substitution actually
+// landed, and point keys are consistent with the expanded specs.
+func FuzzCampaignExpand(f *testing.F) {
+	seedFromExamples(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		c, err := Compile(s)
+		if err != nil {
+			return // invalid campaign or axis path; rejection is correct
+		}
+		norm := c.Spec
+		want := 1
+		for _, a := range norm.Axes {
+			want *= len(a.Values)
+		}
+		if len(c.Points) != want {
+			t.Fatalf("grid has %d points, cross-product says %d", len(c.Points), want)
+		}
+		if want > MaxPoints {
+			t.Fatalf("grid of %d points exceeds MaxPoints = %d but validated", want, MaxPoints)
+		}
+		for i, p := range c.Points {
+			if p.Index != i {
+				t.Fatalf("point %d carries index %d", i, p.Index)
+			}
+			if len(p.Labels) != len(norm.Axes) {
+				t.Fatalf("point %d has %d labels for %d axes", i, len(p.Labels), len(norm.Axes))
+			}
+			renorm, err := p.Spec.Normalized()
+			if err != nil {
+				t.Fatalf("point %d spec does not re-normalize: %v", i, err)
+			}
+			if !reflect.DeepEqual(p.Spec, renorm) {
+				t.Fatalf("point %d spec is not in normal form", i)
+			}
+			if p.Spec.Seed != PointSeed(norm.Base.SeedPolicy, norm.Base.Seed, i) {
+				t.Fatalf("point %d seed %d does not follow the point-seed derivation", i, p.Spec.Seed)
+			}
+		}
+	})
+}

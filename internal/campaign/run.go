@@ -1,0 +1,365 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/par"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// Cache lets a runner consult a content-addressed result store before
+// simulating a grid point and publish what it computes. Keys are
+// scenario.Fingerprint(point spec, reps) — the same keys the serving
+// layer uses for individual submissions, which is what makes campaign
+// points, direct jobs and reruns dedupe onto one another. A nil Cache
+// disables lookups (the plain CLI path).
+type Cache interface {
+	// Get returns the cached replication report for key, if known.
+	Get(key string) (*scenario.Report, bool)
+	// Put stores a computed replication report under key.
+	Put(key string, rep *scenario.Report)
+}
+
+// Opts tunes a campaign run. The zero value runs serially, uncached,
+// without progress callbacks.
+type Opts struct {
+	// Workers is the par pool width replication batches fan across;
+	// ≤ 1 runs serially. Results are bit-identical either way.
+	Workers int
+	// Context, when non-nil, cancels the run cooperatively between
+	// replications.
+	Context context.Context
+	// Cache, when non-nil, is consulted per point and replication count
+	// before simulating, and filled with every computed batch.
+	Cache Cache
+	// Progress, when non-nil, is called after every completed or
+	// cache-adopted replication with the totals scheduled so far.
+	// Calls are serialized; done is monotonic, total may grow as
+	// adaptive batches are scheduled.
+	Progress func(done, total int)
+	// PointDone, when non-nil, is called each time a grid point
+	// reaches its final replication count.
+	PointDone func(done, total int)
+}
+
+// PointResult is one grid point's outcome.
+type PointResult struct {
+	// Index is the point's row-major grid position.
+	Index int `json:"index"`
+	// Labels give the point's coordinate on every axis.
+	Labels []AxisValue `json:"labels"`
+	// Key is the point's content address,
+	// scenario.Fingerprint(spec, reps).
+	Key string `json:"key"`
+	// Reps is the final replication count: the fixed count, or where
+	// adaptive replication stopped.
+	Reps int `json:"reps"`
+	// Converged reports whether every target met its half-width goal
+	// (always true for fixed-rep campaigns and model-engine points).
+	Converged bool `json:"converged"`
+	// Report is the point's aggregated replication report —
+	// byte-identical to running Spec standalone with -reps Reps.
+	Report *scenario.Report `json:"report"`
+}
+
+// Report is a completed campaign.
+type Report struct {
+	// Spec is the normalized campaign spec.
+	Spec Spec `json:"spec"`
+	// Points holds one result per grid point, in row-major order.
+	Points []PointResult `json:"points"`
+	// SimulatedReps counts the replications actually simulated (cache
+	// adoptions excluded). Not part of the canonical result — a rerun
+	// answered from cache reports 0 here with identical JSON.
+	SimulatedReps int `json:"-"`
+}
+
+// pointState tracks one grid point through the replication rounds.
+type pointState struct {
+	point     Point
+	schedule  []int // cumulative replication counts, ending at the cap
+	step      int   // index into schedule of the count being built
+	seeds     []uint64
+	perRep    [][]scenario.Metric
+	accs      []stats.Accumulator // one per metric, in canonical order
+	names     []string            // metric names, from the first replication
+	adoptedTo int                 // reps covered by cache adoption (no re-Put needed)
+	finished  bool
+	result    PointResult
+}
+
+// repSchedule builds a point's cumulative replication schedule.
+func repSchedule(s Spec, engine string) []int {
+	if engine == scenario.EngineModel {
+		// Analytic points are deterministic; every replication returns
+		// identical metrics, so the study collapses to one evaluation —
+		// mirroring scenario.Replications.
+		return []int{1}
+	}
+	if !s.Adaptive() {
+		return []int{s.Reps}
+	}
+	sched := []int{s.MinReps}
+	for r := s.MinReps; r < s.MaxReps; {
+		r += s.BatchReps
+		if r > s.MaxReps {
+			r = s.MaxReps
+		}
+		sched = append(sched, r)
+	}
+	return sched
+}
+
+// converged evaluates the campaign's targets against a point's
+// accumulated metrics. A single-sample accumulator never converges
+// (its CI is vacuously zero), except for the deterministic model
+// engine, whose schedule is pinned to one evaluation anyway.
+func (ps *pointState) converged(s Spec) bool {
+	if !s.Adaptive() {
+		return true
+	}
+	if ps.point.Spec.Engine == scenario.EngineModel {
+		return true
+	}
+	for _, tg := range s.Targets {
+		mi := -1
+		for i, n := range ps.names {
+			if n == tg.Metric {
+				mi = i
+				break
+			}
+		}
+		if mi < 0 {
+			return false // unreachable: Compile checked target names
+		}
+		acc := ps.accs[mi]
+		if acc.N() < 2 {
+			return false
+		}
+		hw := acc.CI95()
+		switch {
+		case tg.CI > 0:
+			if hw > tg.CI {
+				return false
+			}
+		default:
+			if hw > tg.RelCI*math.Abs(acc.Mean()) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Run executes a compiled campaign: every grid point runs its
+// replication schedule, points converge (or cap out) independently, and
+// each round's fresh replications fan across the par pool. The report
+// is bit-identical whatever the worker count, and each point's embedded
+// scenario.Report is bit-identical to scenario.Replications on the
+// point's expanded spec at the same replication count.
+func Run(c *Compiled, opts Opts) (*Report, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	states := make([]*pointState, len(c.Points))
+	for i, p := range c.Points {
+		states[i] = &pointState{point: p, schedule: repSchedule(c.Spec, p.Spec.Engine)}
+	}
+
+	out := &Report{Spec: c.Spec}
+	var progressMu sync.Mutex
+	scheduled, done := 0, 0
+	progress := func(d int) {
+		progressMu.Lock()
+		done += d
+		if opts.Progress != nil {
+			opts.Progress(done, scheduled)
+		}
+		progressMu.Unlock()
+	}
+	pointsDone := 0
+	finish := func(ps *pointState, reps int, conv bool) error {
+		key, err := scenario.Fingerprint(ps.point.Spec, reps)
+		if err != nil {
+			return err // unreachable: the spec compiled already
+		}
+		ps.finished = true
+		ps.result = PointResult{
+			Index:     ps.point.Index,
+			Labels:    ps.point.Labels,
+			Key:       key,
+			Reps:      reps,
+			Converged: conv,
+			Report:    ps.buildReport(reps),
+		}
+		pointsDone++
+		if opts.PointDone != nil {
+			opts.PointDone(pointsDone, len(c.Points))
+		}
+		return nil
+	}
+
+	for round := 0; ; round++ {
+		// Rounds that adopt everything from cache never enter MapCtx,
+		// so cancellation must be observed here too — a DELETEd
+		// campaign may not complete as done off cached batches.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		type job struct {
+			ps   *pointState
+			rep  int
+			seed uint64
+		}
+		var jobs []job
+		for _, ps := range states {
+			if ps.finished {
+				continue
+			}
+			target := ps.schedule[ps.step]
+			need := target - len(ps.perRep)
+			if need <= 0 {
+				continue
+			}
+			// A cached identical study — an earlier campaign run, or a
+			// direct submission of the expanded spec at this count —
+			// supplies all reps up to target without simulating.
+			if opts.Cache != nil {
+				key, err := scenario.Fingerprint(ps.point.Spec, target)
+				if err != nil {
+					return nil, err
+				}
+				if rep, ok := opts.Cache.Get(key); ok && cacheUsable(rep, target) {
+					fresh := rep.Points[0].PerRep[len(ps.perRep):target]
+					ps.adopt(rep.Points[0].Seeds[:target], rep.Points[0].PerRep[:target])
+					ps.adoptedTo = target
+					scheduled += len(fresh)
+					progress(len(fresh))
+					continue
+				}
+			}
+			for r := len(ps.perRep); r < target; r++ {
+				jobs = append(jobs, job{ps, r, scenario.RepSeed(ps.point.Spec.SeedPolicy, ps.point.Spec.Seed, 0, r)})
+			}
+		}
+		scheduled += len(jobs)
+		if len(jobs) > 0 {
+			results, err := par.MapCtx(ctx, opts.Workers, jobs, func(_ int, j job) ([]scenario.Metric, error) {
+				m, err := scenario.RunOnce(j.ps.point.Compiled.Points[0], j.seed)
+				if err == nil {
+					progress(1)
+				}
+				return m, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			out.SimulatedReps += len(jobs)
+			for ji, j := range jobs {
+				j.ps.addRep(j.seed, results[ji])
+			}
+		}
+
+		// Evaluate every point that reached its current scheduled count.
+		active := false
+		for _, ps := range states {
+			if ps.finished {
+				continue
+			}
+			target := ps.schedule[ps.step]
+			if len(ps.perRep) < target {
+				return nil, fmt.Errorf("campaign %s: point %d short of schedule (%d < %d)", c.Spec.Name, ps.point.Index, len(ps.perRep), target)
+			}
+			// Publish the cumulative study at this count — it is exactly
+			// what a direct -reps run would compute, and it is what makes
+			// a rerun of this campaign find every batch in cache. A batch
+			// fully adopted from cache is already there under this very
+			// key; re-encoding it would be pure waste.
+			if opts.Cache != nil && ps.adoptedTo < target {
+				key, err := scenario.Fingerprint(ps.point.Spec, target)
+				if err != nil {
+					return nil, err
+				}
+				opts.Cache.Put(key, ps.buildReport(target))
+			}
+			conv := ps.converged(c.Spec)
+			if conv || ps.step == len(ps.schedule)-1 {
+				if err := finish(ps, target, conv); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			ps.step++
+			active = true
+		}
+		if !active {
+			break
+		}
+	}
+
+	for _, ps := range states {
+		out.Points = append(out.Points, ps.result)
+	}
+	return out, nil
+}
+
+// cacheUsable sanity-checks a cached report before adoption: one point,
+// the right replication count, per-rep metrics present.
+func cacheUsable(rep *scenario.Report, reps int) bool {
+	return rep != nil && rep.Reps == reps && len(rep.Points) == 1 &&
+		len(rep.Points[0].PerRep) == reps && len(rep.Points[0].Seeds) == reps
+}
+
+// addRep folds one freshly simulated replication into the state.
+func (ps *pointState) addRep(seed uint64, metrics []scenario.Metric) {
+	ps.seeds = append(ps.seeds, seed)
+	ps.perRep = append(ps.perRep, metrics)
+	ps.fold(metrics)
+}
+
+// adopt replaces the state's sample with a cached one. The overlap is
+// bit-identical by construction (same seeds, deterministic engines), so
+// accumulators are rebuilt only for the new tail.
+func (ps *pointState) adopt(seeds []uint64, perRep [][]scenario.Metric) {
+	from := len(ps.perRep)
+	ps.seeds = append([]uint64(nil), seeds...)
+	ps.perRep = append([][]scenario.Metric(nil), perRep...)
+	for _, m := range perRep[from:] {
+		ps.fold(m)
+	}
+}
+
+// fold updates the per-metric accumulators with one replication.
+func (ps *pointState) fold(metrics []scenario.Metric) {
+	if ps.names == nil {
+		ps.names = make([]string, len(metrics))
+		ps.accs = make([]stats.Accumulator, len(metrics))
+		for i, m := range metrics {
+			ps.names[i] = m.Name
+		}
+	}
+	for i, m := range metrics {
+		if i < len(ps.accs) {
+			ps.accs[i].Add(m.Value)
+		}
+	}
+}
+
+// buildReport renders the first reps replications as the
+// scenario.Report Replications would produce for the same spec and
+// count — same seeds, same per-rep metrics, same Summarize reduction —
+// so the bytes downstream (cache entries, served results) coincide.
+func (ps *pointState) buildReport(reps int) *scenario.Report {
+	seeds := append([]uint64(nil), ps.seeds[:reps]...)
+	perRep := append([][]scenario.Metric(nil), ps.perRep[:reps]...)
+	return &scenario.Report{
+		Spec:   ps.point.Spec,
+		Reps:   reps,
+		Points: []scenario.PointReport{scenario.SummarizePoint(ps.point.Compiled.Points[0].N, seeds, perRep)},
+	}
+}

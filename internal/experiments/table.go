@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -61,6 +62,26 @@ func (t *Table) WriteMarkdown(w io.Writer) error {
 		}
 	}
 	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteJSON renders the table as indented JSON — the machine-readable
+// form behind `plcbench -format json`. The field names are part of the
+// output contract (golden-file pinned); renaming them is a wire-format
+// change.
+func (t *Table) WriteJSON(w io.Writer) error {
+	out := struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Note   string     `json:"note,omitempty"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.ID, t.Title, t.Note, t.Header, t.Rows}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
 	return err
 }
 

@@ -262,6 +262,24 @@ type Metric struct {
 	Value float64 `json:"value"`
 }
 
+// MetricNames returns the canonical metric names RunOnce reports for
+// the given engine, in report order. Callers that reference metrics by
+// name before running anything (the campaign engine validating its
+// convergence targets) check against this list; a test pins it to what
+// RunOnce actually emits, so the two cannot drift.
+func MetricNames(engine string) []string {
+	switch engine {
+	case EngineMac:
+		return []string{"collision_pr", "norm_throughput", "successes", "collisions",
+			"frame_errors", "idle_slots", "quiet_fraction", "beacons", "elapsed_us"}
+	case EngineSim, EngineModel:
+		return []string{"collision_pr", "norm_throughput", "successes", "collided_frames",
+			"frame_errors", "idle_slots", "elapsed_us"}
+	default:
+		return nil
+	}
+}
+
 // RunOnce executes one replication of a compiled point with the given
 // seed and returns its metrics in the engine's canonical order. A
 // model-engine point is answered analytically: the seed is ignored

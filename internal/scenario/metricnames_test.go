@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestMetricNamesMatchRunOnce pins MetricNames to what RunOnce actually
+// emits for every engine, so the by-name lookup surface (campaign
+// convergence targets) can never drift from the real reports.
+func TestMetricNamesMatchRunOnce(t *testing.T) {
+	specs := map[string]Spec{
+		EngineSim: {
+			Name: "names-sim", Engine: EngineSim, SimTimeMicros: 1e5,
+			Stations: []Group{{Count: 2}},
+		},
+		EngineModel: {
+			Name: "names-model", Engine: EngineModel, SimTimeMicros: 1e5,
+			Stations: []Group{{Count: 2}},
+		},
+		EngineMac: {
+			Name: "names-mac", Engine: EngineMac, SimTimeMicros: 1e5,
+			Stations: []Group{{Count: 2, Traffic: &Traffic{Kind: TrafficPoisson, MeanInterarrivalMicros: 1e4}}},
+		},
+	}
+	for engine, spec := range specs {
+		c, err := Compile(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		metrics, err := RunOnce(c.Points[0], 1)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		want := MetricNames(engine)
+		if len(want) != len(metrics) {
+			t.Fatalf("%s: MetricNames lists %d metrics, RunOnce reports %d", engine, len(want), len(metrics))
+		}
+		for i, m := range metrics {
+			if m.Name != want[i] {
+				t.Errorf("%s: metric %d: MetricNames says %q, RunOnce reports %q", engine, i, want[i], m.Name)
+			}
+		}
+	}
+	if MetricNames("nonsense") != nil {
+		t.Error("MetricNames of unknown engine should be nil")
+	}
+}

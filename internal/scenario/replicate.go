@@ -140,23 +140,35 @@ func ReplicationsOpts(c *Compiled, reps, workers int, opts Options) (*Report, er
 
 	rep := &Report{Spec: c.Spec, Reps: reps}
 	for pi, p := range c.Points {
-		pr := PointReport{N: p.N}
+		seeds := make([]uint64, reps)
+		perRep := make([][]Metric, reps)
 		for r := 0; r < reps; r++ {
 			j := pi*reps + r
-			pr.Seeds = append(pr.Seeds, jobs[j].seed)
-			pr.PerRep = append(pr.PerRep, results[j])
+			seeds[r] = jobs[j].seed
+			perRep[r] = results[j]
 		}
-		first := pr.PerRep[0]
-		sample := make([]float64, reps)
-		for mi, m := range first {
-			for r := 0; r < reps; r++ {
-				sample[r] = pr.PerRep[r][mi].Value
-			}
-			pr.Metrics = append(pr.Metrics, MetricSummary{Name: m.Name, Summary: stats.Summarize(sample)})
-		}
-		rep.Points = append(rep.Points, pr)
+		rep.Points = append(rep.Points, SummarizePoint(p.N, seeds, perRep))
 	}
 	return rep, nil
+}
+
+// SummarizePoint aggregates one point's replications into a
+// PointReport: the raw per-replication metrics, their seeds, and a
+// mean/stddev/95%-CI summary per metric in the engine's canonical
+// order. This is the exact reduction Replications applies, exported so
+// that other runners (the campaign engine's adaptive batches) produce
+// byte-identical point reports from the same per-replication values.
+func SummarizePoint(n int, seeds []uint64, perRep [][]Metric) PointReport {
+	pr := PointReport{N: n, Seeds: seeds, PerRep: perRep}
+	first := perRep[0]
+	sample := make([]float64, len(perRep))
+	for mi, m := range first {
+		for r := range perRep {
+			sample[r] = perRep[r][mi].Value
+		}
+		pr.Metrics = append(pr.Metrics, MetricSummary{Name: m.Name, Summary: stats.Summarize(sample)})
+	}
+	return pr
 }
 
 // Write renders the report as aligned plain text: a header describing

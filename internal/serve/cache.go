@@ -139,17 +139,23 @@ func (c *cache) path(key string) string {
 
 // loadDisk reads and verifies one persisted result. A file that does
 // not parse or whose embedded key disagrees is ignored (treated as a
-// miss), never trusted.
+// miss), never trusted. Scenario results and campaign results share
+// the key/text envelope, so one loader serves both kinds; the full
+// payload is kept verbatim, which is what preserves byte-identity
+// across restarts.
 func (c *cache) loadDisk(key string) (entry, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		return entry{}, false
 	}
-	var res Result
-	if err := json.Unmarshal(data, &res); err != nil || res.Key != key {
+	var env struct {
+		Key  string `json:"key"`
+		Text string `json:"text"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil || env.Key != key {
 		return entry{}, false
 	}
-	return entry{key: key, json: data, text: res.Text}, true
+	return entry{key: key, json: data, text: env.Text}, true
 }
 
 // storeDisk persists one result atomically (temp file + rename), so a

@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/scenario"
+)
+
+// tinyCampaign is a fast two-axis grid over the tiny sim scenario.
+func tinyCampaign(name string) campaign.Spec {
+	return campaign.Spec{
+		Name: name,
+		Base: scenario.Spec{
+			Name:          name + "-base",
+			SimTimeMicros: 1e6,
+			Seed:          7,
+			Stations:      []scenario.Group{{Count: 1}},
+		},
+		Axes: []campaign.Axis{
+			{Path: "n", Values: []json.RawMessage{json.RawMessage("1"), json.RawMessage("2")}},
+			{Path: "stations[0].error_prob", Values: []json.RawMessage{json.RawMessage("0"), json.RawMessage("0.5")}},
+		},
+		Reps: 2,
+	}
+}
+
+// TestCampaignComputeThenCache pins the campaign serving contract: a
+// first submission computes (running every grid point), a second
+// identical one is answered whole from the cache with byte-identical
+// result JSON and text, and the text equals what `sim1901 -campaign`
+// prints for the same spec.
+func TestCampaignComputeThenCache(t *testing.T) {
+	s := mustNew(t, Config{})
+	defer s.Close()
+
+	spec := tinyCampaign("camp-cache")
+	j1, cached, coalesced, err := s.SubmitCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || coalesced {
+		t.Fatalf("first submission: cached=%v coalesced=%v", cached, coalesced)
+	}
+	if !strings.HasPrefix(j1.ID(), "c") {
+		t.Errorf("campaign job ID %q does not carry the campaign prefix", j1.ID())
+	}
+	waitDone(t, j1)
+	st := j1.Status()
+	if st.State != StateDone || st.Kind != "campaign" || st.PointsDone != 4 || st.PointsTotal != 4 {
+		t.Fatalf("campaign status = %+v", st)
+	}
+	res1, text1, ok := j1.Result()
+	if !ok {
+		t.Fatal("campaign job has no result")
+	}
+
+	// The text must equal the CLI path: campaign.Compile + Run + Write.
+	c, err := campaign.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := campaign.Run(c, campaign.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if text1 != buf.String() {
+		t.Errorf("served campaign text differs from the CLI rendering:\n--- served ---\n%s--- cli ---\n%s", text1, buf.String())
+	}
+
+	j2, cached, coalesced, err := s.SubmitCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || coalesced {
+		t.Fatalf("second submission: cached=%v coalesced=%v, want true/false", cached, coalesced)
+	}
+	if st := j2.Status(); st.State != StateDone || !st.Cached {
+		t.Fatalf("cached campaign status = %+v", st)
+	}
+	res2, text2, _ := j2.Result()
+	if !bytes.Equal(res1, res2) || text1 != text2 {
+		t.Error("cached campaign result differs from the computed one")
+	}
+
+	counters, _ := s.Stats()
+	if counters.Campaigns != 2 || counters.CampaignCacheHits != 1 {
+		t.Errorf("counters = %+v, want 2 campaigns / 1 campaign cache hit", counters)
+	}
+}
+
+// TestCampaignPointCacheSharing pins the cross-surface dedupe: a direct
+// scenario submission of one expanded grid point pre-fills the cache
+// entry the campaign then adopts (campaign_point_hits counts it), and
+// the campaign's embedded point report is byte-identical to the direct
+// job's.
+func TestCampaignPointCacheSharing(t *testing.T) {
+	s := mustNew(t, Config{})
+	defer s.Close()
+
+	spec := tinyCampaign("camp-share")
+	c, err := campaign.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run grid point 2's expanded spec as a plain scenario job first.
+	direct, cached, _, err := s.Submit(c.Points[2].Spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("direct point submission unexpectedly cached")
+	}
+	waitDone(t, direct)
+	directJSON, _, _ := direct.Result()
+
+	j, _, _, err := s.SubmitCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	resJSON, _, _ := j.Result()
+	var res CampaignResult
+	if err := json.Unmarshal(resJSON, &res); err != nil {
+		t.Fatal(err)
+	}
+
+	counters, _ := s.Stats()
+	if counters.CampaignPointHits == 0 {
+		t.Errorf("campaign adopted no cached points; counters = %+v", counters)
+	}
+
+	var directRes Result
+	if err := json.Unmarshal(directJSON, &directRes); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(res.Report.Points[2].Report)
+	want, _ := json.Marshal(directRes.Report)
+	if !bytes.Equal(got, want) {
+		t.Errorf("campaign point 2 differs from the direct submission\ncampaign: %s\ndirect:   %s", got, want)
+	}
+	if res.Report.Points[2].Key != direct.Key() {
+		t.Errorf("campaign point key %s != direct job key %s", res.Report.Points[2].Key, direct.Key())
+	}
+}
+
+// TestCampaignHTTPAPI drives the campaign surface over httptest:
+// submit, status, result (JSON and text), NDJSON events with grid-point
+// progress, listing separation from scenario jobs, and the X-Cache
+// header on resubmission.
+func TestCampaignHTTPAPI(t *testing.T) {
+	s := mustNew(t, Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	campJSON, err := json.Marshal(tinyCampaign("camp-http"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"campaign": %s}`, campJSON)
+
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first submission X-Cache = %q, want miss", got)
+	}
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	j, ok := s.Job(sub.ID)
+	if !ok {
+		t.Fatalf("submitted campaign %q not in registry", sub.ID)
+	}
+	waitDone(t, j)
+
+	// Events: the stream must carry grid-point progress and end on the
+	// terminal state.
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := func() (string, error) {
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		_, err := b.ReadFrom(resp.Body)
+		return b.String(), err
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(events, `"points_total":4`) {
+		t.Errorf("event stream lacks grid-point totals:\n%s", events)
+	}
+	if !strings.Contains(events, `"state":"done"`) {
+		t.Errorf("event stream lacks the terminal state:\n%s", events)
+	}
+
+	// Result, both formats.
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res CampaignResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(res.Report.Points) != 4 {
+		t.Fatalf("result has %d points, want 4", len(res.Report.Points))
+	}
+	for _, p := range res.Report.Points {
+		if p.Reps != 2 || !p.Converged {
+			t.Errorf("point %d: reps=%d converged=%v, want 2/true (fixed reps)", p.Index, p.Reps, p.Converged)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + sub.ID + "/result?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text bytes.Buffer
+	text.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if text.String() != res.Text {
+		t.Error("?format=text differs from the embedded text rendering")
+	}
+	if !strings.Contains(res.Text, "# campaign camp-http") {
+		t.Errorf("text rendering unexpected:\n%s", res.Text)
+	}
+
+	// Listing separation: /v1/campaigns lists it, /v1/jobs does not,
+	// and the ID does not resolve under the scenario surface.
+	var campList, jobList []Status
+	for path, into := range map[string]*[]Status{"/v1/campaigns": &campList, "/v1/jobs": &jobList} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if len(campList) != 1 || campList[0].Kind != "campaign" {
+		t.Errorf("campaign listing = %+v", campList)
+	}
+	if len(jobList) != 0 {
+		t.Errorf("scenario job listing includes campaigns: %+v", jobList)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("campaign ID resolved under /v1/jobs: %d", resp.StatusCode)
+	}
+
+	// Resubmission: X-Cache hit, 200, zero additional work.
+	resp, err = http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("resubmission: status %d X-Cache %q, want 200/hit", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+}
+
+// TestCampaignInvalidSubmissions covers the fail-fast boundary: bad
+// replication bounds are rejected before anything is queued, with
+// messages naming the offending fields.
+func TestCampaignInvalidSubmissions(t *testing.T) {
+	s := mustNew(t, Config{MaxReps: 10})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bad := tinyCampaign("camp-bad")
+	bad.Reps = 0
+	bad.MinReps, bad.MaxReps = 9, 3
+	bad.Targets = []campaign.Target{{Metric: "norm_throughput", CI: 0.01}}
+	if _, _, _, err := s.SubmitCampaign(bad); err == nil || !strings.Contains(err.Error(), `"min_reps" = 9 > "max_reps" = 3`) {
+		t.Errorf("min>max error = %v", err)
+	}
+
+	over := tinyCampaign("camp-over")
+	over.Reps = 11 // above the server's MaxReps
+	if _, _, _, err := s.SubmitCampaign(over); err == nil || !strings.Contains(err.Error(), "outside 1–10") {
+		t.Errorf("rep-cap error = %v", err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(`{"campaign": {"name": "x"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid campaign accepted: %d", resp.StatusCode)
+	}
+	counters, _ := s.Stats()
+	if counters.Campaigns != 0 {
+		t.Errorf("invalid submissions counted: %+v", counters)
+	}
+}
+
+// TestCampaignDiskPersistence checks that a campaign result survives a
+// server restart through the disk tier and answers byte-identically.
+func TestCampaignDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNew(t, Config{CacheDir: dir})
+	spec := tinyCampaign("camp-disk")
+	j, _, _, err := s.SubmitCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	res1, text1, _ := j.Result()
+	s.Close()
+
+	s2 := mustNew(t, Config{CacheDir: dir})
+	defer s2.Close()
+	j2, cached, _, err := s2.SubmitCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("restarted server did not answer the campaign from disk")
+	}
+	res2, text2, _ := j2.Result()
+	if !bytes.Equal(res1, res2) || text1 != text2 {
+		t.Error("disk-restored campaign result differs")
+	}
+	counters, _ := s2.Stats()
+	if counters.DiskCacheHits == 0 {
+		t.Errorf("no disk hit counted: %+v", counters)
+	}
+}

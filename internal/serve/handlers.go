@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/scenario"
 )
 
@@ -37,14 +39,20 @@ type StatsResponse struct {
 	CacheEntries int `json:"cache_entries"`
 }
 
-// Event is one line of the GET /v1/jobs/{id}/events NDJSON stream.
+// Event is one line of the GET /v1/jobs/{id}/events and
+// /v1/campaigns/{id}/events NDJSON streams.
 type Event struct {
 	// Event is "state" (job changed lifecycle stage) or "progress"
-	// (one more replication finished).
+	// (one more replication finished, or — for campaigns — a grid
+	// point completed).
 	Event string `json:"event"`
 	State State  `json:"state"`
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
+	// PointsDone/PointsTotal track grid points through a campaign job
+	// (absent for scenario jobs).
+	PointsDone  int `json:"points_done,omitempty"`
+	PointsTotal int `json:"points_total,omitempty"`
 	// Error is set on terminal failed/cancelled states.
 	Error string `json:"error,omitempty"`
 }
@@ -55,23 +63,38 @@ type Event struct {
 //	POST   /v1/predict          answer a spec analytically, synchronously
 //	                            (model engine; fingerprint-cached;
 //	                            ?format=text for the CLI-identical text)
-//	GET    /v1/jobs             list job statuses in submission order
+//	POST   /v1/campaigns        submit a campaign (CampaignRequest);
+//	                            X-Cache reports hit/miss
+//	GET    /v1/jobs             list scenario-job statuses in submission order
 //	GET    /v1/jobs/{id}        one job's status
 //	GET    /v1/jobs/{id}/result final result (JSON; ?format=text for
 //	                            the CLI-identical text rendering)
 //	GET    /v1/jobs/{id}/events NDJSON stream of state/progress events
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/campaigns        list campaign-job statuses
+//	GET    /v1/campaigns/{id}   one campaign's status (incl. grid points)
+//	GET    /v1/campaigns/{id}/result  final campaign result (JSON;
+//	                            ?format=text for the sim1901 -campaign text)
+//	GET    /v1/campaigns/{id}/events  NDJSON per-replication and
+//	                            per-point progress
+//	DELETE /v1/campaigns/{id}   cancel a queued or running campaign
 //	GET    /v1/stats            counters + cache occupancy
 //	GET    /healthz             liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -188,21 +211,94 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	jobs := s.Jobs()
-	out := make([]Status, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.Status()
-	}
-	writeJSON(w, http.StatusOK, out)
+// CampaignRequest is the POST /v1/campaigns body.
+type CampaignRequest struct {
+	// Campaign is the campaign to run (same schema as the files under
+	// examples/campaigns/; unknown fields are rejected).
+	Campaign json.RawMessage `json:"campaign"`
 }
 
-// job resolves {id} or writes a 404.
+// handleSubmitCampaign admits a campaign onto the job queue. The
+// response mirrors POST /v1/jobs; an X-Cache header reports whether
+// the whole campaign was answered from the result cache.
+func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req CampaignRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode request: %w", err))
+		return
+	}
+	if len(req.Campaign) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: missing \"campaign\""))
+		return
+	}
+	spec, err := campaign.Parse(req.Campaign)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, cached, coalesced, err := s.SubmitCampaign(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusAccepted
+	if cached {
+		status = http.StatusOK
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSON(w, status, SubmitResponse{
+		ID: j.ID(), Key: j.Key(), State: j.Status().State,
+		Cached: cached, Coalesced: coalesced,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.listStatuses(false))
+}
+
+func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.listStatuses(true))
+}
+
+// listStatuses snapshots every job of one kind in submission order.
+func (s *Server) listStatuses(campaigns bool) []Status {
+	out := []Status{}
+	for _, j := range s.Jobs() {
+		if j.IsCampaign() == campaigns {
+			out = append(out, j.Status())
+		}
+	}
+	return out
+}
+
+// job resolves {id} or writes a 404. Scenario jobs answer only under
+// /v1/jobs and campaigns only under /v1/campaigns — the two surfaces
+// share one registry but stay distinct for clients.
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	id := r.PathValue("id")
+	wantCampaign := strings.HasPrefix(r.URL.Path, "/v1/campaigns/")
 	j, ok := s.Job(id)
+	if ok && j.IsCampaign() != wantCampaign {
+		ok = false
+	}
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		kind := "job"
+		if wantCampaign {
+			kind = "campaign"
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown %s %q", kind, id))
 	}
 	return j, ok
 }
@@ -304,7 +400,7 @@ func (j *Job) events(ctx context.Context) <-chan Event {
 		var last *Event
 		for {
 			j.mu.Lock()
-			for ctx.Err() == nil && last != nil && j.state == last.State && j.done == last.Done {
+			for ctx.Err() == nil && last != nil && j.state == last.State && j.done == last.Done && j.pointsDone == last.PointsDone {
 				j.cond.Wait()
 			}
 			st := j.statusLocked()
@@ -312,7 +408,8 @@ func (j *Job) events(ctx context.Context) <-chan Event {
 			if ctx.Err() != nil {
 				return
 			}
-			e := Event{Event: "progress", State: st.State, Done: st.Done, Total: st.Total, Error: st.Error}
+			e := Event{Event: "progress", State: st.State, Done: st.Done, Total: st.Total,
+				PointsDone: st.PointsDone, PointsTotal: st.PointsTotal, Error: st.Error}
 			if last == nil || st.State != last.State {
 				e.Event = "state"
 			}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/campaign"
 	"repro/internal/scenario"
 )
 
@@ -58,17 +59,54 @@ func encodeResult(key string, rep *scenario.Report) (entry, error) {
 	return entry{key: key, json: append(data, '\n'), text: buf.String()}, nil
 }
 
-// Status is a point-in-time job snapshot (the /v1/jobs responses).
+// CampaignResult is the JSON a finished campaign job serves: the
+// campaign report (normalized spec, every grid point's replication
+// report and content address) plus the exact text rendering the
+// `sim1901 -campaign` CLI prints for the same file. It shares the
+// key/text envelope with Result, so both kinds live in one cache.
+type CampaignResult struct {
+	// Key is the campaign's content address (campaign.Fingerprint).
+	Key string `json:"key"`
+	// Report is the grid outcome, one PointResult per grid point.
+	Report *campaign.Report `json:"report"`
+	// Text is the campaign.Report.Write rendering of Report.
+	Text string `json:"text"`
+}
+
+// encodeCampaignResult renders a campaign report into a cache entry.
+func encodeCampaignResult(key string, rep *campaign.Report) (entry, error) {
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		return entry{}, fmt.Errorf("serve: render campaign report: %w", err)
+	}
+	res := CampaignResult{Key: key, Report: rep, Text: buf.String()}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return entry{}, fmt.Errorf("serve: marshal campaign result: %w", err)
+	}
+	return entry{key: key, json: append(data, '\n'), text: buf.String()}, nil
+}
+
+// Status is a point-in-time job snapshot (the /v1/jobs and
+// /v1/campaigns responses).
 type Status struct {
 	ID       string `json:"id"`
 	Key      string `json:"key"`
 	Scenario string `json:"scenario"`
-	State    State  `json:"state"`
-	Reps     int    `json:"reps"`
+	// Kind is "campaign" for campaign jobs; empty for scenario jobs
+	// (the original wire format, unchanged).
+	Kind  string `json:"kind,omitempty"`
+	State State  `json:"state"`
+	Reps  int    `json:"reps"`
 	// Done and Total count completed vs. scheduled replications
-	// (points × reps); Total is 0 until the job starts.
+	// (points × reps); Total is 0 until the job starts. For adaptive
+	// campaigns Total grows as replication batches are scheduled.
 	Done  int `json:"done"`
 	Total int `json:"total"`
+	// PointsDone and PointsTotal track grid points through a campaign
+	// job (0 for scenario jobs).
+	PointsDone  int `json:"points_done,omitempty"`
+	PointsTotal int `json:"points_total,omitempty"`
 	// Cached marks a job answered from the result cache without
 	// running.
 	Cached bool `json:"cached,omitempty"`
@@ -77,24 +115,29 @@ type Status struct {
 	Error string `json:"error,omitempty"`
 }
 
-// Job is one admitted study. All mutable fields are guarded by mu;
-// cond broadcasts on every mutation so streamers can follow along.
+// Job is one admitted study — a scenario replication study, or (when
+// camp is non-nil) a whole campaign riding the same queue. All mutable
+// fields are guarded by mu; cond broadcasts on every mutation so
+// streamers can follow along.
 type Job struct {
 	id       string
 	key      string
-	compiled *scenario.Compiled
+	compiled *scenario.Compiled // scenario jobs
+	camp     *campaign.Compiled // campaign jobs
 	reps     int
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	state  State
-	done   int
-	total  int
-	cached bool
-	result []byte // verbatim response bytes of /result (terminal Done)
-	text   string // CLI-identical text rendering (terminal Done)
-	errMsg string
-	cancel context.CancelFunc
+	mu          sync.Mutex
+	cond        *sync.Cond
+	state       State
+	done        int
+	total       int
+	pointsDone  int
+	pointsTotal int
+	cached      bool
+	result      []byte // verbatim response bytes of /result (terminal Done)
+	text        string // CLI-identical text rendering (terminal Done)
+	errMsg      string
+	cancel      context.CancelFunc
 }
 
 func newJob(id, key string, c *scenario.Compiled, reps int) *Job {
@@ -102,6 +145,15 @@ func newJob(id, key string, c *scenario.Compiled, reps int) *Job {
 	j.cond = sync.NewCond(&j.mu)
 	return j
 }
+
+func newCampaignJob(id, key string, c *campaign.Compiled) *Job {
+	j := &Job{id: id, key: key, camp: c, state: StateQueued}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// IsCampaign reports whether the job runs a campaign.
+func (j *Job) IsCampaign() bool { return j.camp != nil }
 
 // ID returns the job's server-unique identifier.
 func (j *Job) ID() string { return j.id }
@@ -117,17 +169,25 @@ func (j *Job) Status() Status {
 }
 
 func (j *Job) statusLocked() Status {
-	return Status{
-		ID:       j.id,
-		Key:      j.key,
-		Scenario: j.compiled.Spec.Name,
-		State:    j.state,
-		Reps:     j.reps,
-		Done:     j.done,
-		Total:    j.total,
-		Cached:   j.cached,
-		Error:    j.errMsg,
+	st := Status{
+		ID:          j.id,
+		Key:         j.key,
+		State:       j.state,
+		Reps:        j.reps,
+		Done:        j.done,
+		Total:       j.total,
+		PointsDone:  j.pointsDone,
+		PointsTotal: j.pointsTotal,
+		Cached:      j.cached,
+		Error:       j.errMsg,
 	}
+	if j.camp != nil {
+		st.Scenario = j.camp.Spec.Name
+		st.Kind = "campaign"
+	} else {
+		st.Scenario = j.compiled.Spec.Name
+	}
+	return st
 }
 
 // Result returns the verbatim response bytes and text rendering of a
@@ -189,9 +249,25 @@ func (j *Job) start(parent context.Context) (ctx context.Context, ok bool) {
 	}
 	ctx, j.cancel = context.WithCancel(parent)
 	j.state = StateRunning
-	j.total = len(j.compiled.Points) * j.reps
+	if j.camp != nil {
+		// Replication totals arrive through the campaign's progress
+		// callback (they grow with adaptive batches); the point count
+		// is known up front.
+		j.pointsTotal = len(j.camp.Points)
+	} else {
+		j.total = len(j.compiled.Points) * j.reps
+	}
 	j.cond.Broadcast()
 	return ctx, true
+}
+
+// setPoints records grid-point completion (the campaign.Opts.PointDone
+// callback).
+func (j *Job) setPoints(done, total int) {
+	j.mu.Lock()
+	j.pointsDone, j.pointsTotal = done, total
+	j.cond.Broadcast()
+	j.mu.Unlock()
 }
 
 // setProgress records one more completed replication (the
@@ -230,7 +306,15 @@ func (j *Job) completeFromCache(ent entry) {
 	j.state = StateDone
 	j.cached = true
 	j.result, j.text = ent.json, ent.text
-	j.total = len(j.compiled.Points) * j.reps
-	j.done = j.total
+	if j.camp != nil {
+		// GridSize, not len(Points): a cache-hit campaign job carries
+		// an unexpanded Compiled (the whole point of hitting the cache
+		// is skipping expansion).
+		j.pointsTotal = j.camp.Spec.GridSize()
+		j.pointsDone = j.pointsTotal
+	} else {
+		j.total = len(j.compiled.Points) * j.reps
+		j.done = j.total
+	}
 	j.cond.Broadcast()
 }

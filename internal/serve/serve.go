@@ -26,11 +26,13 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/campaign"
 	"repro/internal/scenario"
 )
 
@@ -120,6 +122,14 @@ type Counters struct {
 	// result cache without solving.
 	Predictions      int64 `json:"predictions"`
 	PredictCacheHits int64 `json:"predict_cache_hits"`
+	// Campaigns counts accepted POST /v1/campaigns submissions;
+	// CampaignCacheHits the subset answered whole from the cache, and
+	// CampaignPointHits the individual grid points (replication
+	// batches) a running campaign adopted from the cache instead of
+	// simulating.
+	Campaigns         int64 `json:"campaigns"`
+	CampaignCacheHits int64 `json:"campaign_cache_hits"`
+	CampaignPointHits int64 `json:"campaign_point_hits"`
 	// Rejected counts submissions refused with ErrQueueFull.
 	Rejected int64 `json:"rejected"`
 	// Completed, Failed and Cancelled count terminal job outcomes.
@@ -209,7 +219,7 @@ func (s *Server) Close() {
 // same cache entry (the one /v1/predict also reads and writes).
 func (s *Server) Submit(spec scenario.Spec, reps int) (job *Job, cached, coalesced bool, err error) {
 	if reps < 1 || reps > s.cfg.MaxReps {
-		return nil, false, false, fmt.Errorf("serve: reps = %d outside 1–%d", reps, s.cfg.MaxReps)
+		return nil, false, false, fmt.Errorf("serve: \"reps\" = %d outside 1–%d", reps, s.cfg.MaxReps)
 	}
 	compiled, err := scenario.Compile(spec)
 	if err != nil {
@@ -317,11 +327,104 @@ func (s *Server) Predict(spec scenario.Spec) (resultJSON []byte, text string, ca
 	return ent.json, ent.text, false, nil
 }
 
-// newJobLocked registers a new job and prunes the registry down to
-// MaxJobs by evicting the oldest terminal jobs; s.mu must be held.
+// SubmitCampaign validates, expands, fingerprints and admits one
+// campaign onto the same queue scenario jobs ride. The returned job is
+// freshly queued, an already in-flight identical campaign
+// (coalesced=true), or an immediately-done job answered from the
+// campaign-level cache (cached=true). While running, the campaign
+// additionally consults the cache per grid point and replication
+// batch — the same scenario.Fingerprint keys individual submissions
+// use — so partially overlapping campaigns, direct jobs and reruns all
+// dedupe onto one another. Errors: validation errors (bad campaign
+// spec, replication bound above MaxReps), ErrQueueFull, ErrClosed.
+func (s *Server) SubmitCampaign(spec campaign.Spec) (job *Job, cached, coalesced bool, err error) {
+	norm, err := spec.Normalized()
+	if err != nil {
+		return nil, false, false, err
+	}
+	if cap := campaignRepCap(norm); cap > s.cfg.MaxReps {
+		return nil, false, false, fmt.Errorf("serve: campaign %s requests up to %d reps per point, outside 1–%d",
+			norm.Name, cap, s.cfg.MaxReps)
+	}
+	key, err := campaign.Fingerprint(norm)
+	if err != nil {
+		return nil, false, false, err
+	}
+	ent, disk, hit := s.cache.get(key)
+	// Grid expansion is O(points) of JSON work; a cache-hit
+	// resubmission of a large campaign must not pay it. The compile
+	// therefore runs only on a miss, still outside the server lock.
+	// (The miss-then-completed race wastes at worst one expansion.)
+	var compiled *campaign.Compiled
+	if !hit {
+		compiled, err = campaign.Compile(norm)
+		if err != nil {
+			return nil, false, false, err
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, false, ErrClosed
+	}
+	s.counters.Submissions++
+	s.counters.Campaigns++
+
+	if hit {
+		s.counters.CacheHits++
+		s.counters.CampaignCacheHits++
+		if disk {
+			s.counters.DiskCacheHits++
+		}
+		j := s.registerLocked(newCampaignJob(s.nextIDLocked("c"), key, &campaign.Compiled{Spec: norm}))
+		j.completeFromCache(ent)
+		return j, true, false, nil
+	}
+	if j, ok := s.inflight[key]; ok && !j.Status().State.Terminal() {
+		s.counters.Coalesced++
+		return j, false, true, nil
+	}
+
+	j := s.registerLocked(newCampaignJob(s.nextIDLocked("c"), key, compiled))
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.counters.Rejected++
+		s.counters.Submissions--
+		s.counters.Campaigns--
+		return nil, false, false, ErrQueueFull
+	}
+	s.inflight[key] = j
+	return j, false, false, nil
+}
+
+// campaignRepCap is the largest per-point replication count a campaign
+// may reach (the fixed count, or the adaptive cap).
+func campaignRepCap(s campaign.Spec) int {
+	if s.Adaptive() {
+		return s.MaxReps
+	}
+	return s.Reps
+}
+
+// newJobLocked registers a new scenario job; s.mu must be held.
 func (s *Server) newJobLocked(key string, c *scenario.Compiled, reps int) *Job {
+	return s.registerLocked(newJob(s.nextIDLocked("j"), key, c, reps))
+}
+
+// nextIDLocked mints the next job ID with the given kind prefix
+// ("j" for scenario jobs, "c" for campaigns); s.mu must be held.
+func (s *Server) nextIDLocked(prefix string) string {
 	s.seq++
-	j := newJob(fmt.Sprintf("j%d", s.seq), key, c, reps)
+	return fmt.Sprintf("%s%d", prefix, s.seq)
+}
+
+// registerLocked adds a job to the registry and prunes it down to
+// MaxJobs by evicting the oldest terminal jobs; s.mu must be held.
+func (s *Server) registerLocked(j *Job) *Job {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	if len(s.order) > s.cfg.MaxJobs {
@@ -386,6 +489,10 @@ func (s *Server) runJob(j *Job) {
 		s.finishJob(j, func() { s.counters.Cancelled++ })
 		return
 	}
+	if j.camp != nil {
+		s.runCampaignJob(j, ctx)
+		return
+	}
 	rep, err := scenario.ReplicationsOpts(j.compiled, j.reps, s.cfg.RepWorkers, scenario.Options{
 		Context:  ctx,
 		Progress: j.setProgress,
@@ -411,6 +518,73 @@ func (s *Server) runJob(j *Job) {
 		j.finish(StateDone, &ent, "")
 		s.finishJob(j, func() { s.counters.Completed++ })
 	}
+}
+
+// runCampaignJob executes one dequeued campaign job: the grid runs
+// through campaign.Run against the server's content-addressed cache, so
+// every grid point and replication batch the cache already knows is
+// adopted instead of simulated, and everything computed is published
+// for future campaigns and direct submissions alike.
+func (s *Server) runCampaignJob(j *Job, ctx context.Context) {
+	rep, err := campaign.Run(j.camp, campaign.Opts{
+		Workers:   s.cfg.RepWorkers,
+		Context:   ctx,
+		Cache:     (*pointCache)(s),
+		Progress:  j.setProgress,
+		PointDone: j.setPoints,
+	})
+	switch {
+	case errors.Is(err, context.Canceled):
+		j.finish(StateCancelled, nil, err.Error())
+		s.finishJob(j, func() { s.counters.Cancelled++ })
+	case err != nil:
+		j.finish(StateFailed, nil, err.Error())
+		s.finishJob(j, func() { s.counters.Failed++ })
+	default:
+		ent, err := encodeCampaignResult(j.key, rep)
+		if err != nil {
+			j.finish(StateFailed, nil, err.Error())
+			s.finishJob(j, func() { s.counters.Failed++ })
+			return
+		}
+		s.cache.put(ent)
+		j.finish(StateDone, &ent, "")
+		s.finishJob(j, func() { s.counters.Completed++ })
+	}
+}
+
+// pointCache adapts the server's result cache to campaign.Cache: grid
+// points are read and written as the very entries scenario jobs use
+// (same fingerprints, same Result envelope), so a campaign point, a
+// direct submission of the expanded spec and a rerun all share bytes.
+type pointCache Server
+
+func (c *pointCache) Get(key string) (*scenario.Report, bool) {
+	s := (*Server)(c)
+	ent, disk, ok := s.cache.get(key)
+	if !ok {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(ent.json, &res); err != nil || res.Report == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.counters.CampaignPointHits++
+	if disk {
+		s.counters.DiskCacheHits++
+	}
+	s.mu.Unlock()
+	return res.Report, true
+}
+
+func (c *pointCache) Put(key string, rep *scenario.Report) {
+	s := (*Server)(c)
+	ent, err := encodeResult(key, rep)
+	if err != nil {
+		return // unreachable: reports the runner builds always marshal
+	}
+	s.cache.put(ent)
 }
 
 // finishJob clears the in-flight slot and bumps a counter under s.mu.

@@ -255,3 +255,99 @@ func TestHistogramTotalProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: an Accumulator fed a sample one value at a time agrees with
+// the two-pass Summarize to within rounding on every statistic, and its
+// CI uses the same Student-t critical values.
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var a Accumulator
+		for i, r := range raw {
+			xs[i] = float64(r) / 7
+			a.Add(xs[i])
+		}
+		want := Summarize(xs)
+		got := a.Summary()
+		if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+			return false
+		}
+		close := func(x, y float64) bool {
+			return math.Abs(x-y) <= 1e-9*(1+math.Abs(x)+math.Abs(y))
+		}
+		return close(got.Mean, want.Mean) && close(got.StdDev, want.StdDev) && close(got.CI95, want.CI95)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging shard accumulators equals accumulating the
+// concatenated sample, whatever the split point.
+func TestAccumulatorMergeProperty(t *testing.T) {
+	f := func(raw []int16, cut uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) / 3
+		}
+		k := 0
+		if len(xs) > 0 {
+			k = int(cut) % (len(xs) + 1)
+		}
+		var whole, left, right Accumulator
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:k] {
+			left.Add(x)
+		}
+		for _, x := range xs[k:] {
+			right.Add(x)
+		}
+		left.Merge(right)
+		if whole.N() != left.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		close := func(x, y float64) bool {
+			return math.Abs(x-y) <= 1e-9*(1+math.Abs(x)+math.Abs(y))
+		}
+		return close(whole.Mean(), left.Mean()) && close(whole.StdDev(), left.StdDev())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorStudentT(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{1, 2, 3} {
+		a.Add(x)
+	}
+	// n = 3 → t(0.975, 2) = 4.303, not the normal 1.96.
+	want := 4.303 * a.StdDev() / math.Sqrt(3)
+	if math.Abs(a.CI95()-want) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v (Student-t at df=2)", a.CI95(), want)
+	}
+	if a.CI95() == 0 {
+		t.Error("CI95 = 0 for a 3-value sample")
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.StdDev() != 0 || a.CI95() != 0 {
+		t.Errorf("zero Accumulator not zero-valued: %+v", a)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Summary of empty Accumulator did not panic")
+		}
+	}()
+	a.Summary()
+}

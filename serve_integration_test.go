@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -287,5 +288,195 @@ func TestServeMatchesCLI(t *testing.T) {
 	}
 	if stats.CacheHits+stats.Coalesced < 1 {
 		t.Errorf("no submission was deduplicated: %+v", stats)
+	}
+}
+
+// bootPlcsrv starts the daemon on an ephemeral port and returns its
+// base URL; the process dies with the test.
+func bootPlcsrv(t *testing.T, plcsrv string) string {
+	t.Helper()
+	srv := exec.Command(plcsrv, "-listen", "127.0.0.1:0")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Process.Kill()
+		srv.Wait()
+	})
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("plcsrv never printed its address")
+		return ""
+	}
+}
+
+// TestCampaignMatchesCLI is the campaign engine's acceptance pin: a
+// two-axis campaign served through POST /v1/campaigns returns (a) text
+// byte-identical to `sim1901 -campaign` on the same file, and (b)
+// per-point reports byte-identical to running each expanded spec
+// individually through `sim1901 -scenario`; a rerun is answered whole
+// from the cache (X-Cache: hit) with zero additional simulation work,
+// pinned via /v1/stats.
+func TestCampaignMatchesCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	sim1901 := buildTool(t, bin, "sim1901")
+	plcsrv := buildTool(t, bin, "plcsrv")
+	const campFile = "testdata/campaigns/tiny-grid.json"
+
+	// Reference: the CLI's exact bytes.
+	cli := exec.Command(sim1901, "-campaign", campFile)
+	var cliStderr bytes.Buffer
+	cli.Stderr = &cliStderr
+	want, err := cli.Output()
+	if err != nil {
+		t.Fatalf("sim1901 -campaign: %v\n%s", err, cliStderr.String())
+	}
+
+	base := bootPlcsrv(t, plcsrv)
+	campJSON, err := os.ReadFile(campFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"campaign":%s}`, campJSON)
+
+	submit := func() (*http.Response, serve.SubmitResponse) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sub serve.SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp, sub
+	}
+	resp, sub := submit()
+	if resp.StatusCode != http.StatusAccepted || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first submission: status %d X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/campaigns/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st serve.Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == serve.StateDone {
+			if st.PointsDone != 4 || st.PointsTotal != 4 {
+				t.Fatalf("done campaign reports %d/%d points", st.PointsDone, st.PointsTotal)
+			}
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("campaign %s: %+v", sub.ID, st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s never finished", sub.ID)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// (a) The served text equals the CLI's bytes.
+	resp2, err := http.Get(base + "/v1/campaigns/" + sub.ID + "/result?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotText, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotText, want) {
+		t.Fatalf("served campaign text differs from sim1901 -campaign:\n--- served ---\n%s--- cli ---\n%s", gotText, want)
+	}
+
+	// (b) Every grid point, run standalone through `sim1901 -scenario`
+	// on its expanded spec, reproduces the served per-point report
+	// byte for byte (compared via the CLI's text rendering).
+	resp3, err := http.Get(base + "/v1/campaigns/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res serve.CampaignResult
+	err = json.NewDecoder(resp3.Body).Decode(&res)
+	resp3.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Report.Points {
+		specJSON, err := p.Report.Spec.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		specFile := filepath.Join(bin, fmt.Sprintf("point-%d.json", p.Index))
+		if err := os.WriteFile(specFile, specJSON, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(sim1901, "-scenario", specFile, "-reps", fmt.Sprint(p.Reps))
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		standalone, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("sim1901 -scenario point %d: %v\n%s", p.Index, err, stderr.String())
+		}
+		var served bytes.Buffer
+		if err := p.Report.Write(&served); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(standalone, served.Bytes()) {
+			t.Fatalf("point %d: standalone CLI run differs from the served campaign point:\n--- cli ---\n%s--- served ---\n%s",
+				p.Index, standalone, served.String())
+		}
+	}
+
+	// Rerun: answered whole from cache, zero extra simulation.
+	resp4, sub2 := submit()
+	if resp4.StatusCode != http.StatusOK || resp4.Header.Get("X-Cache") != "hit" || !sub2.Cached {
+		t.Fatalf("rerun: status %d X-Cache %q cached=%v, want 200/hit/true",
+			resp4.StatusCode, resp4.Header.Get("X-Cache"), sub2.Cached)
+	}
+	resp5, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats serve.StatsResponse
+	err = json.NewDecoder(resp5.Body).Decode(&stats)
+	resp5.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Campaigns != 2 || stats.CampaignCacheHits != 1 || stats.Completed != 1 {
+		t.Errorf("stats = %+v, want 2 campaigns, 1 campaign cache hit, 1 completed job (no recomputation)", stats)
 	}
 }
