@@ -56,6 +56,9 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "directory to persist results to (empty = memory only)")
 		maxReps    = flag.Int("max-reps", 10000, "maximum replications a single submission may request")
 		maxJobs    = flag.Int("max-jobs", 1024, "job-registry bound; oldest finished jobs are evicted beyond it")
+		journalDir = flag.String("journal-dir", "", "directory for the job journal; accepted jobs survive a crash and replay on restart (empty = no journal)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job running-time limit, and the cap on per-request timeout_s (0 = none)")
+		drainTime  = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown lets running jobs finish before abandoning them to the journal")
 	)
 	flag.Parse()
 
@@ -68,10 +71,12 @@ func main() {
 		CacheDir:     *cacheDir,
 		MaxReps:      *maxReps,
 		MaxJobs:      *maxJobs,
+		JournalDir:   *journalDir,
+		JobTimeout:   *jobTimeout,
 	})
 	if err != nil {
-		// Most likely an unusable -cache-dir: refuse to run without the
-		// persistence the operator asked for.
+		// Most likely an unusable -cache-dir or -journal-dir: refuse to
+		// run without the persistence the operator asked for.
 		fmt.Fprintln(os.Stderr, "plcsrv:", err)
 		os.Exit(1)
 	}
@@ -91,9 +96,15 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Printf("plcsrv: %v, shutting down\n", s)
-		// Cancel jobs first so in-flight event streams terminate, then
-		// drain the HTTP side.
+		fmt.Printf("plcsrv: %v, shutting down (drain %s)\n", s, *drainTime)
+		// Graceful half first: stop admissions and let running jobs
+		// finish for up to -drain-timeout. Jobs abandoned at the
+		// deadline keep their journal records non-terminal, so a
+		// restart with the same -journal-dir replays them. Close then
+		// releases the workers and the journal, and Shutdown drains
+		// the HTTP side (terminating in-flight event streams).
+		drained, abandoned := srv.Drain(*drainTime)
+		fmt.Printf("plcsrv: drained %d job(s), abandoned %d to the journal\n", drained, abandoned)
 		srv.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		hs.Shutdown(ctx)

@@ -175,12 +175,16 @@ func Run(c *Compiled, opts Opts) (*Report, error) {
 	var progressMu sync.Mutex
 	scheduled, done := 0, 0
 	progress := func(d int) {
+		// Deferred unlock: a Progress callback that panics (fault
+		// injection, a broken observer) must not leave the mutex held —
+		// par recovers the panic, and the surviving workers still pass
+		// through here.
 		progressMu.Lock()
+		defer progressMu.Unlock()
 		done += d
 		if opts.Progress != nil {
 			opts.Progress(done, scheduled)
 		}
-		progressMu.Unlock()
 	}
 	pointsDone := 0
 	finish := func(ps *pointState, reps int, conv bool) error {

@@ -13,10 +13,41 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is the error Map and MapCtx report when a mapped function
+// panics: the recovered value plus the goroutine stack at the panic
+// site. Recovering here is what keeps one pathological item from
+// killing the whole process — a panicking item fails its map call (a
+// PanicError is an error like any other, subject to the lowest-index
+// rule) while the other items and the calling goroutine survive.
+// Detect it with errors.As to distinguish crashes from ordinary
+// failures.
+type PanicError struct {
+	// Value is the value the mapped function panicked with.
+	Value any
+	// Stack is the formatted goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: panic in mapped function: %v\n%s", e.Value, e.Stack)
+}
+
+// protect invokes fn(i, item), converting a panic into a *PanicError.
+func protect[T, R any](fn func(i int, item T) (R, error), i int, item T) (r R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i, item)
+}
 
 // defaultWorkers is the process-wide fan-out width used by MapDefault;
 // 1 (serial) until SetDefaultWorkers raises it.
@@ -51,6 +82,10 @@ func MapDefault[T, R any](items []T, fn func(i int, item T) (R, error)) ([]R, er
 // already failed (points are independent; partial failure of a sweep
 // must not depend on scheduling), and the error of the lowest-indexed
 // failing item is returned.
+//
+// A panic inside fn does not escape: it is recovered into a
+// *PanicError charged to that item, so a single pathological item
+// fails the call without killing the worker goroutines or the process.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
 	return MapCtx(context.Background(), workers, items, fn)
 }
@@ -74,7 +109,7 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			r, err := fn(i, item)
+			r, err := protect(fn, i, item)
 			if err != nil {
 				return nil, err
 			}
@@ -99,7 +134,7 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int
 					errs[i] = err
 					continue
 				}
-				out[i], errs[i] = fn(i, items[i])
+				out[i], errs[i] = protect(fn, i, items[i])
 			}
 		}()
 	}

@@ -127,10 +127,15 @@ func ReplicationsOpts(c *Compiled, reps, workers int, opts Options) (*Report, er
 	results, err := par.MapCtx(ctx, workers, jobs, func(_ int, j job) ([]Metric, error) {
 		m, err := RunOnce(c.Points[j.point], j.seed)
 		if err == nil && opts.Progress != nil {
-			progressMu.Lock()
-			done++
-			opts.Progress(done, len(jobs))
-			progressMu.Unlock()
+			// Deferred unlock: a Progress callback that panics must not
+			// leave the mutex held (par recovers the panic into an error,
+			// and the surviving workers still report progress).
+			func() {
+				progressMu.Lock()
+				defer progressMu.Unlock()
+				done++
+				opts.Progress(done, len(jobs))
+			}()
 		}
 		return m, err
 	})

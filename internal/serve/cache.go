@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // entry is one cached result: the verbatim JSON bytes the /result
@@ -36,16 +37,24 @@ type cache struct {
 	maxBytes int
 	bytes    int
 	dir      string
+	faults   *Faults    // nil in production (test-only write-failure injection)
 	dropOnce sync.Once  // first dropped disk write is logged, later ones suppressed
 	ll       *list.List // front = most recently used; values are entry
 	items    map[string]*list.Element
+
+	// Disk-write failure accounting: consecutive resets on every
+	// successful write, total only grows. Atomics, not c.mu — the
+	// counters are read by /readyz and /v1/stats while writes are in
+	// flight outside the lock.
+	consecDiskFailures atomic.Int64
+	totalDiskFailures  atomic.Int64
 }
 
 // newCache builds the cache and, when a persistence directory is
 // configured, verifies it is actually usable — created (or creatable)
 // and writable — so a typo'd or read-only -cache-dir fails server
 // startup loudly instead of silently running without persistence.
-func newCache(max, maxBytes int, dir string) (*cache, error) {
+func newCache(max, maxBytes int, dir string, faults *Faults) (*cache, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("serve: cache dir %s: %w", dir, err)
@@ -58,7 +67,12 @@ func newCache(max, maxBytes int, dir string) (*cache, error) {
 		probe.Close()
 		os.Remove(name)
 	}
-	return &cache{max: max, maxBytes: maxBytes, dir: dir, ll: list.New(), items: make(map[string]*list.Element)}, nil
+	return &cache{max: max, maxBytes: maxBytes, dir: dir, faults: faults, ll: list.New(), items: make(map[string]*list.Element)}, nil
+}
+
+// diskFailures snapshots the disk-write failure counters.
+func (c *cache) diskFailures() (consecutive, total int64) {
+	return c.consecDiskFailures.Load(), c.totalDiskFailures.Load()
 }
 
 func (c *cache) len() int {
@@ -166,9 +180,17 @@ func (c *cache) loadDisk(key string) (entry, bool) {
 // full disk cannot flood the log).
 func (c *cache) storeDisk(e entry) {
 	drop := func(err error) {
+		c.consecDiskFailures.Add(1)
+		c.totalDiskFailures.Add(1)
 		c.dropOnce.Do(func() {
 			log.Printf("serve: cache: dropping result persistence to %s: %v (memory tier unaffected; further drops suppressed)", c.dir, err)
 		})
+	}
+	if f := c.faults; f != nil && f.DiskCacheWrite != nil {
+		if err := f.DiskCacheWrite(e.key); err != nil {
+			drop(err)
+			return
+		}
 	}
 	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
 	if err != nil {
@@ -190,5 +212,7 @@ func (c *cache) storeDisk(e entry) {
 	if err := os.Rename(name, c.path(e.key)); err != nil {
 		os.Remove(name)
 		drop(err)
+		return
 	}
+	c.consecDiskFailures.Store(0)
 }

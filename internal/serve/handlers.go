@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/scenario"
@@ -20,6 +22,11 @@ type SubmitRequest struct {
 	// Reps is the replication count per sweep point (default 10, the
 	// CLI default).
 	Reps int `json:"reps,omitempty"`
+	// TimeoutS bounds the job's running time in seconds, capped by the
+	// server's -job-timeout. 0 (or absent) inherits the server limit.
+	// A job exceeding its deadline ends in state "timed_out" (504 on
+	// /result).
+	TimeoutS float64 `json:"timeout_s,omitempty"`
 }
 
 // SubmitResponse answers POST /v1/jobs.
@@ -79,7 +86,11 @@ type Event struct {
 //	                            per-point progress
 //	DELETE /v1/campaigns/{id}   cancel a queued or running campaign
 //	GET    /v1/stats            counters + cache occupancy
-//	GET    /healthz             liveness probe
+//	GET    /healthz             liveness probe (200 while the process runs)
+//	GET    /readyz              readiness probe (503 during journal
+//	                            replay, queue saturation, or after
+//	                            repeated journal/disk-cache write
+//	                            failures; 200 otherwise)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -100,7 +111,38 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+// ReadyResponse answers GET /readyz.
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Reason explains a 503 ("journal replay in progress", "job queue
+	// saturated", "journal degraded: …", "disk cache degraded: …").
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleReady is the readiness probe: 200 when the server should
+// receive traffic, 503 (with the reason) when a load balancer should
+// route around it — while it replays its journal, while its queue is
+// saturated, or while its journal or disk cache is failing to write.
+// Liveness (/healthz) stays 200 throughout: the process is healthy,
+// just not ready.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ok, reason := s.Ready()
+	status := http.StatusOK
+	if !ok {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterValue(s.RetryAfter()))
+	}
+	writeJSON(w, status, ReadyResponse{Ready: ok, Reason: reason})
+}
+
+// retryAfterValue renders a duration as the whole-second Retry-After
+// header value.
+func retryAfterValue(d time.Duration) string {
+	return strconv.FormatInt(int64(d/time.Second), 10)
 }
 
 // writeJSON renders v with a trailing newline.
@@ -151,10 +193,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if reps == 0 {
 		reps = 10
 	}
-	j, cached, coalesced, err := s.Submit(spec, reps)
+	timeout, err := requestTimeout(req.TimeoutS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, cached, coalesced, err := s.SubmitTimeout(spec, reps, timeout)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterValue(s.RetryAfter()))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrClosed):
@@ -211,11 +258,23 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// requestTimeout validates and converts a request's timeout_s.
+func requestTimeout(secs float64) (time.Duration, error) {
+	if secs < 0 {
+		return 0, fmt.Errorf("serve: \"timeout_s\" = %g must be ≥ 0", secs)
+	}
+	return time.Duration(secs * float64(time.Second)), nil
+}
+
 // CampaignRequest is the POST /v1/campaigns body.
 type CampaignRequest struct {
 	// Campaign is the campaign to run (same schema as the files under
 	// examples/campaigns/; unknown fields are rejected).
 	Campaign json.RawMessage `json:"campaign"`
+	// TimeoutS bounds the campaign's running time in seconds, capped by
+	// the server's -job-timeout. 0 (or absent) inherits the server
+	// limit.
+	TimeoutS float64 `json:"timeout_s,omitempty"`
 }
 
 // handleSubmitCampaign admits a campaign onto the job queue. The
@@ -238,10 +297,15 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, cached, coalesced, err := s.SubmitCampaign(spec)
+	timeout, err := requestTimeout(req.TimeoutS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, cached, coalesced, err := s.SubmitCampaignTimeout(spec, timeout)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterValue(s.RetryAfter()))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrClosed):
@@ -322,6 +386,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	case StateCancelled:
 		writeError(w, http.StatusGone, fmt.Errorf("serve: job %s was cancelled", st.ID))
+		return
+	case StateTimedOut:
+		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("serve: job %s timed out: %s", st.ID, st.Error))
 		return
 	default:
 		// Not finished; tell the client where it stands.

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/scenario"
@@ -14,19 +15,23 @@ import (
 // State is a job's lifecycle stage.
 type State string
 
-// Job states. Queued and Running are transient; Done, Failed and
-// Cancelled are terminal.
+// Job states. Queued and Running are transient; Done, Failed,
+// Cancelled and TimedOut are terminal.
 const (
 	StateQueued    State = "queued"
 	StateRunning   State = "running"
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateTimedOut marks a job cancelled by its deadline (the server's
+	// JobTimeout, or the request's timeout_s capped by it) rather than
+	// by a client.
+	StateTimedOut State = "timed_out"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateTimedOut
 }
 
 // Result is the JSON a finished job serves: the aggregated replication
@@ -110,6 +115,9 @@ type Status struct {
 	// Cached marks a job answered from the result cache without
 	// running.
 	Cached bool `json:"cached,omitempty"`
+	// Replayed marks a job re-admitted from the journal after a
+	// restart rather than submitted by a client this run.
+	Replayed bool `json:"replayed,omitempty"`
 	// Error carries the failure or cancellation cause in terminal
 	// states.
 	Error string `json:"error,omitempty"`
@@ -125,6 +133,14 @@ type Job struct {
 	compiled *scenario.Compiled // scenario jobs
 	camp     *campaign.Compiled // campaign jobs
 	reps     int
+	// seq is the job's journal sequence number (0 without a journal, or
+	// for cached/coalesced answers that never queued). Written once
+	// during admission under Server.mu, read by the finishing worker —
+	// the queue send orders the two.
+	seq int64
+	// timeout is the job's effective deadline, armed when it starts
+	// running (queue wait does not count). Zero means none.
+	timeout time.Duration
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -134,6 +150,7 @@ type Job struct {
 	pointsDone  int
 	pointsTotal int
 	cached      bool
+	replayed    bool
 	result      []byte // verbatim response bytes of /result (terminal Done)
 	text        string // CLI-identical text rendering (terminal Done)
 	errMsg      string
@@ -179,6 +196,7 @@ func (j *Job) statusLocked() Status {
 		PointsDone:  j.pointsDone,
 		PointsTotal: j.pointsTotal,
 		Cached:      j.cached,
+		Replayed:    j.replayed,
 		Error:       j.errMsg,
 	}
 	if j.camp != nil {
@@ -239,15 +257,20 @@ func (j *Job) Wait(ctx context.Context) State {
 }
 
 // start transitions Queued → Running and arms the job's cancel
-// context. ok=false means the job was cancelled while queued and must
-// not run.
+// context — with the job's deadline when it has one; queue wait does
+// not consume deadline budget. ok=false means the job was cancelled
+// while queued and must not run.
 func (j *Job) start(parent context.Context) (ctx context.Context, ok bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StateQueued {
 		return nil, false
 	}
-	ctx, j.cancel = context.WithCancel(parent)
+	if j.timeout > 0 {
+		ctx, j.cancel = context.WithTimeout(parent, j.timeout)
+	} else {
+		ctx, j.cancel = context.WithCancel(parent)
+	}
 	j.state = StateRunning
 	if j.camp != nil {
 		// Replication totals arrive through the campaign's progress
@@ -297,6 +320,14 @@ func (j *Job) finish(state State, ent *entry, errMsg string) {
 		j.cancel = nil
 	}
 	j.cond.Broadcast()
+}
+
+// markReplayed flags the job as recovered from the journal.
+func (j *Job) markReplayed() {
+	j.mu.Lock()
+	j.replayed = true
+	j.cond.Broadcast()
+	j.mu.Unlock()
 }
 
 // completeFromCache marks a fresh job Done with a cached result.

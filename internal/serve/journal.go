@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// journalFile is the write-ahead log's file name inside JournalDir.
+const journalFile = "journal.ndjson"
+
+// journalRecord is one NDJSON line of the job journal. Two ops:
+//
+//   - "accept": a submission was admitted to the queue. Carries the
+//     study's kind, content address, replication count, effective
+//     timeout and the canonical (normalized) spec or campaign JSON —
+//     everything needed to resubmit the identical study after a crash.
+//   - "end": the job with the same seq reached a terminal state.
+//
+// An accept without a matching end is a job the daemon still owed work
+// on when it stopped; startup replays exactly those.
+type journalRecord struct {
+	// Seq is the journal-unique job sequence number, monotonic across
+	// restarts (startup resumes past the largest seq on disk). It is
+	// what pairs an end with its accept: job IDs restart at j1/c1 every
+	// boot, fingerprints repeat across resubmissions, seqs do neither.
+	Seq int64 `json:"seq"`
+	// Op is "accept" or "end".
+	Op string `json:"op"`
+	// Kind is "scenario" or "campaign" (accept records only).
+	Kind string `json:"kind,omitempty"`
+	// Key is the study's content address (accept records only).
+	Key string `json:"key,omitempty"`
+	// Spec is the canonical normalized scenario spec (kind "scenario").
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Campaign is the normalized campaign spec (kind "campaign").
+	Campaign json.RawMessage `json:"campaign,omitempty"`
+	// Reps is the admitted replication count (kind "scenario").
+	Reps int `json:"reps,omitempty"`
+	// TimeoutS is the job's effective deadline in seconds (0 = none),
+	// preserved across recovery so a replayed job keeps its budget.
+	TimeoutS float64 `json:"timeout_s,omitempty"`
+	// State is the terminal state (end records only).
+	State State `json:"state,omitempty"`
+}
+
+// journal is the append-only NDJSON write-ahead log of accepted jobs.
+// Accepts are fsynced before the submission is acknowledged, so an
+// acknowledged job survives a crash; ends are buffered-write only (the
+// worst a lost end costs is one cache-hit replay). Terminal records
+// are compacted away once enough accumulate: the file is rewritten
+// with only the still-live accepts, so it stays proportional to the
+// in-flight job count, not the submission history.
+//
+// Durability is best-effort beyond the fsync contract: a journal that
+// starts failing (full disk, revoked permissions) degrades the server
+// — failures are counted, surfaced through /readyz and /v1/stats, and
+// the first one is logged — but never blocks serving.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	seq  int64
+	// live maps seq → accept record for every journaled job not yet
+	// ended; it is both the replay set at startup and the survivor set
+	// at compaction. Bounded by queue depth + running jobs.
+	live map[int64]journalRecord
+	// earlyEnd holds terminal states that arrived before their accept
+	// was written (a tiny job can finish while its accept append is
+	// still in flight); the accept then cancels against it and neither
+	// record is written.
+	earlyEnd map[int64]State
+	// endsSinceCompact counts end records written since the last
+	// compaction; reaching compactEvery triggers one.
+	endsSinceCompact int
+	compactEvery     int
+	consecFailures   int64
+	totalFailures    int64
+	logOnce          sync.Once
+	faults           *Faults
+}
+
+// journalCompactEvery is the default number of terminal records that
+// triggers a compaction. Low enough that an idle-ish server's journal
+// stays small, high enough that compaction I/O is rare.
+const journalCompactEvery = 256
+
+// openJournal opens (creating if needed) the journal under dir,
+// recovers its state, and returns the records to replay — every accept
+// without a matching end, in seq order. Corrupt trailing data (a crash
+// mid-append) is truncated, not fatal: everything up to the last
+// well-formed record is trusted, the rest is logged and dropped. The
+// recovered file is compacted immediately, which also rewrites away
+// the corrupt tail.
+func openJournal(dir string, faults *Faults) (*journal, []journalRecord, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serve: journal dir %s: %w", dir, err)
+	}
+	l := &journal{
+		path:         filepath.Join(dir, journalFile),
+		live:         make(map[int64]journalRecord),
+		earlyEnd:     make(map[int64]State),
+		compactEvery: journalCompactEvery,
+		faults:       faults,
+	}
+	data, err := os.ReadFile(l.path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("serve: journal %s: %w", l.path, err)
+	}
+	good := 0 // bytes covered by well-formed records
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // partial final line: a crash mid-append
+		}
+		line := data[off : off+nl]
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || !rec.wellFormed() {
+			break // corrupt record: trust nothing at or after it
+		}
+		off += nl + 1
+		good = off
+		if rec.Seq > l.seq {
+			l.seq = rec.Seq
+		}
+		switch rec.Op {
+		case "accept":
+			l.live[rec.Seq] = rec
+		case "end":
+			delete(l.live, rec.Seq)
+		}
+	}
+	if good < len(data) {
+		log.Printf("serve: journal: dropping %d corrupt trailing byte(s) of %s (crash mid-append; %d live record(s) recovered)",
+			len(data)-good, l.path, len(l.live))
+	}
+	pending := make([]journalRecord, 0, len(l.live))
+	for _, rec := range l.live {
+		pending = append(pending, rec)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Seq < pending[j].Seq })
+
+	// Compact on open: rewrites away ended pairs and the corrupt tail,
+	// and leaves l.f positioned for appends.
+	if err := l.rewriteLocked(); err != nil {
+		return nil, nil, err
+	}
+	return l, pending, nil
+}
+
+// wellFormed rejects records that parsed as JSON but are not usable —
+// the tail-corruption guard must not admit a half-overwritten line
+// that happens to still be valid JSON.
+func (r journalRecord) wellFormed() bool {
+	switch r.Op {
+	case "accept":
+		return r.Seq > 0 && r.Key != "" &&
+			((r.Kind == "scenario" && len(r.Spec) > 0 && r.Reps > 0) ||
+				(r.Kind == "campaign" && len(r.Campaign) > 0))
+	case "end":
+		return r.Seq > 0 && r.State.Terminal()
+	}
+	return false
+}
+
+// next mints the next journal sequence number.
+func (l *journal) next() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	return l.seq
+}
+
+// accept journals one admitted job: append + fsync, so the record is
+// durable before the submission is acknowledged. If the job already
+// ended (earlyEnd), both records collapse to nothing — there is
+// nothing to recover.
+func (l *journal) accept(rec journalRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ended := l.earlyEnd[rec.Seq]; ended {
+		delete(l.earlyEnd, rec.Seq)
+		return
+	}
+	if l.writeLocked(rec, true) {
+		l.live[rec.Seq] = rec
+	}
+}
+
+// end journals one terminal transition (no fsync — losing an end to a
+// crash only costs a cache-hit replay) and compacts once enough
+// terminal records accumulate.
+func (l *journal) end(seq int64, state State) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.live[seq]; !ok {
+		// Accept not written yet (the job outran its own append) or its
+		// write failed; park the state so the accept can cancel against
+		// it. The map stays tiny — entries are consumed by accept — but
+		// a long run of failed accepts must not grow it unboundedly.
+		if len(l.earlyEnd) < 1024 {
+			l.earlyEnd[seq] = state
+		}
+		return
+	}
+	if l.writeLocked(journalRecord{Seq: seq, Op: "end", State: state}, false) {
+		delete(l.live, seq)
+		l.endsSinceCompact++
+		if l.endsSinceCompact >= l.compactEvery {
+			if err := l.rewriteLocked(); err != nil {
+				l.fail(err)
+			}
+		}
+	}
+}
+
+// writeLocked appends one record, optionally fsyncing, and accounts
+// the outcome. l.mu must be held.
+func (l *journal) writeLocked(rec journalRecord, sync bool) bool {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		l.fail(err) // unreachable: every journalRecord marshals
+		return false
+	}
+	data = append(data, '\n')
+	switch f := l.faults; {
+	case f != nil && f.JournalWrite != nil:
+		err = f.JournalWrite(data)
+	case l.f == nil:
+		err = os.ErrClosed // a late end racing close; nothing to append to
+	default:
+		_, err = l.f.Write(data)
+	}
+	if err == nil && sync {
+		switch f := l.faults; {
+		case f != nil && f.JournalSync != nil:
+			err = f.JournalSync()
+		case l.f == nil:
+			err = os.ErrClosed
+		default:
+			err = l.f.Sync()
+		}
+	}
+	if err != nil {
+		l.fail(err)
+		return false
+	}
+	l.consecFailures = 0
+	return true
+}
+
+// fail accounts one journal write failure. The first is logged; the
+// rest are only counted (a full disk must not flood the log) and
+// surface through /readyz and /v1/stats.
+func (l *journal) fail(err error) {
+	l.consecFailures++
+	l.totalFailures++
+	l.logOnce.Do(func() {
+		log.Printf("serve: journal: write to %s failing: %v (durability degraded; failures are counted in /v1/stats, further ones not logged)", l.path, err)
+	})
+}
+
+// rewriteLocked replaces the journal file with only the live accepts
+// (atomic temp + rename), resetting the compaction counter. l.mu must
+// be held.
+func (l *journal) rewriteLocked() error {
+	recs := make([]journalRecord, 0, len(l.live))
+	for _, rec := range l.live {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("serve: journal: compact: %w", err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	dir := filepath.Dir(l.path)
+	tmp, err := os.CreateTemp(dir, ".journal-*")
+	if err != nil {
+		return fmt.Errorf("serve: journal: compact: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("serve: journal: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("serve: journal: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("serve: journal: compact: %w", err)
+	}
+	if err := os.Rename(name, l.path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("serve: journal: compact: %w", err)
+	}
+	f, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: journal: reopen after compact: %w", err)
+	}
+	if l.f != nil {
+		l.f.Close()
+	}
+	l.f = f
+	l.endsSinceCompact = 0
+	return nil
+}
+
+// failures snapshots the consecutive and total write-failure counts.
+func (l *journal) failures() (consecutive, total int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.consecFailures, l.totalFailures
+}
+
+// close releases the journal file. Records already written stay on
+// disk; live jobs stay live (that is the point — they replay).
+func (l *journal) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+}

@@ -29,10 +29,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/par"
 	"repro/internal/scenario"
 )
 
@@ -70,6 +76,25 @@ type Config struct {
 	// submission count. Evicted IDs answer 404; their results live on
 	// in the cache. Default 1024.
 	MaxJobs int
+	// JournalDir, when non-empty, enables the job journal: an
+	// append-only NDJSON write-ahead log under <JournalDir>/journal.ndjson
+	// recording every accepted submission (fsynced before the accept is
+	// acknowledged) and every terminal transition. On startup the
+	// server replays accepts without a terminal record back onto the
+	// queue, so a crashed or killed daemon picks its unfinished work
+	// back up — and because every study is content-addressed, replayed
+	// work the disk cache already knows completes without simulation.
+	JournalDir string
+	// JobTimeout, when positive, bounds each job's running time: a job
+	// still unfinished after it is cancelled into StateTimedOut. It is
+	// also the cap on per-request "timeout_s" values. Zero means no
+	// deadline.
+	JobTimeout time.Duration
+
+	// faults, when non-nil, injects failures for the robustness tests
+	// (see Faults). Unexported on purpose: only this package's tests
+	// can set it, production builds always run with nil.
+	faults *Faults
 }
 
 func (c Config) withDefaults() Config {
@@ -130,30 +155,63 @@ type Counters struct {
 	Campaigns         int64 `json:"campaigns"`
 	CampaignCacheHits int64 `json:"campaign_cache_hits"`
 	CampaignPointHits int64 `json:"campaign_point_hits"`
+	// PredictCoalesced counts /v1/predict cache misses that attached to
+	// an identical in-flight solve instead of solving again.
+	PredictCoalesced int64 `json:"predict_coalesced"`
 	// Rejected counts submissions refused with ErrQueueFull.
 	Rejected int64 `json:"rejected"`
-	// Completed, Failed and Cancelled count terminal job outcomes.
+	// Completed, Failed, Cancelled and TimedOut count terminal job
+	// outcomes (TimedOut: jobs cancelled by their deadline).
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Cancelled int64 `json:"cancelled"`
+	TimedOut  int64 `json:"timed_out"`
+	// Panics counts jobs that failed because a replication (or the job
+	// itself) panicked. The panic is isolated: it fails only its job,
+	// with the stack in the job error.
+	Panics int64 `json:"panics"`
+	// Replayed counts jobs recovered from the journal at startup
+	// (re-queued, or completed instantly from the result cache).
+	Replayed int64 `json:"journal_replayed"`
+	// RegistryOverflow counts registrations that left the job registry
+	// above MaxJobs because every resident job was still queued or
+	// running — the bound only evicts terminal jobs, so a saturated
+	// registry grows; this counter is how operators see it happening.
+	RegistryOverflow int64 `json:"registry_overflow"`
+	// JournalWriteFailures and DiskCacheWriteFailures count dropped
+	// journal and disk-cache writes (degraded durability; /readyz turns
+	// unready after repeated consecutive failures).
+	JournalWriteFailures   int64 `json:"journal_write_failures"`
+	DiskCacheWriteFailures int64 `json:"disk_cache_write_failures"`
 }
 
-// Server owns the job queue, the result cache and the job registry.
-// Create with New, mount Handler on an http.Server, Close to drain.
+// Server owns the job queue, the result cache, the job registry and —
+// when configured — the crash-recovery journal. Create with New, mount
+// Handler on an http.Server, Drain and/or Close to stop.
 type Server struct {
-	cfg   Config
-	cache *cache
+	cfg     Config
+	cache   *cache
+	journal *journal // nil without JournalDir
+	faults  *Faults  // nil in production
 
 	ctx       context.Context
 	cancelAll context.CancelFunc
 
-	mu       sync.Mutex
-	closed   bool
-	seq      int
-	jobs     map[string]*Job // by ID; oldest terminal jobs pruned past MaxJobs
-	order    []string        // IDs in submission order (listing)
-	inflight map[string]*Job // fingerprint → queued/running job
-	counters Counters
+	replaying atomic.Bool // journal replay still in progress
+	replayWG  sync.WaitGroup
+
+	mu         sync.Mutex
+	closed     bool
+	abandoning bool // Drain gave up: suppress terminal journal records
+	abandoned  int  // jobs cancelled during abandonment
+	seq        int
+	jobs       map[string]*Job // by ID; oldest terminal jobs pruned past MaxJobs
+	order      []string        // IDs in submission order (listing)
+	inflight   map[string]*Job // fingerprint → queued/running job
+	predict    map[string]*predictFlight
+	counters   Counters
+	svcRuns    int64         // jobs that actually executed (service-time sample size)
+	svcTotal   time.Duration // summed service time of those jobs
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -164,47 +222,132 @@ type Server struct {
 	testHoldRun func(*Job)
 }
 
+// predictFlight is one in-flight /v1/predict solve; concurrent misses
+// of the same key wait on done instead of solving again.
+type predictFlight struct {
+	done chan struct{}
+	ent  entry
+	err  error
+}
+
 // New starts a Server's workers and returns it ready to serve. It
-// fails fast when CacheDir is configured but unusable (missing and
-// uncreatable, or not writable) — a daemon asked to persist results
-// must not silently run without persistence.
+// fails fast when CacheDir or JournalDir is configured but unusable
+// (missing and uncreatable, or not writable) — a daemon asked to
+// persist results or journal jobs must not silently run without. With
+// JournalDir set, unfinished jobs from the previous run replay onto
+// the queue in the background; /readyz reports 503 until the replay
+// has re-admitted them all.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	cache, err := newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheDir)
+	cache, err := newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheDir, cfg.faults)
 	if err != nil {
 		return nil, err
+	}
+	var (
+		jl      *journal
+		pending []journalRecord
+	)
+	if cfg.JournalDir != "" {
+		jl, pending, err = openJournal(cfg.JournalDir, cfg.faults)
+		if err != nil {
+			return nil, err
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
 		cache:     cache,
+		journal:   jl,
+		faults:    cfg.faults,
 		ctx:       ctx,
 		cancelAll: cancel,
 		jobs:      make(map[string]*Job),
 		inflight:  make(map[string]*Job),
+		predict:   make(map[string]*predictFlight),
 		queue:     make(chan *Job, cfg.QueueDepth),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	if len(pending) > 0 {
+		s.replaying.Store(true)
+		s.replayWG.Add(1)
+		go s.replay(pending)
+	}
 	return s, nil
 }
 
 // Close stops accepting submissions, cancels queued and running jobs,
 // and waits for the workers to drain. Safe to call more than once.
+// Jobs cancelled here reach a terminal state and are journaled as
+// such; to instead leave unfinished jobs recoverable, Drain first.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+	} else {
+		s.closed = true
+		close(s.queue)
+		s.mu.Unlock()
+		s.cancelAll()
+	}
+	s.wg.Wait()
+	s.replayWG.Wait()
+	if s.journal != nil {
+		s.journal.close()
+	}
+}
+
+// Drain stops admissions and lets queued and running jobs finish for
+// up to timeout. Jobs still unfinished then are cancelled with their
+// journal records deliberately left non-terminal, so a restart replays
+// them — the graceful half of crash recovery. It returns how many of
+// the jobs pending at the call finished (drained) versus were given up
+// on (abandoned). timeout ≤ 0 abandons immediately. Call Close
+// afterwards to release the remaining resources.
+func (s *Server) Drain(timeout time.Duration) (drained, abandoned int) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		s.wg.Wait()
-		return
+		return 0, 0
 	}
 	s.closed = true
 	close(s.queue)
+	pending := 0
+	for _, id := range s.order {
+		if !s.jobs[id].Status().State.Terminal() {
+			pending++
+		}
+	}
 	s.mu.Unlock()
-	s.cancelAll()
-	s.wg.Wait()
+	s.replayWG.Wait() // replay observes closed and stops re-admitting
+
+	workersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(workersDone)
+	}()
+	if timeout > 0 {
+		select {
+		case <-workersDone:
+		case <-time.After(timeout):
+		}
+	}
+	select {
+	case <-workersDone:
+	default:
+		s.mu.Lock()
+		s.abandoning = true
+		s.mu.Unlock()
+		s.cancelAll()
+		<-workersDone
+	}
+	s.mu.Lock()
+	abandoned = s.abandoned
+	s.mu.Unlock()
+	return pending - abandoned, abandoned
 }
 
 // Submit validates, fingerprints and admits one study. The returned
@@ -218,6 +361,23 @@ func (s *Server) Close() {
 // deterministic, so every reps value names the same study and hits the
 // same cache entry (the one /v1/predict also reads and writes).
 func (s *Server) Submit(spec scenario.Spec, reps int) (job *Job, cached, coalesced bool, err error) {
+	return s.SubmitTimeout(spec, reps, 0)
+}
+
+// effectiveTimeout resolves a per-request deadline against the server
+// limit: requests without one inherit JobTimeout, requests above it
+// are capped to it. Zero on both sides means no deadline.
+func (c Config) effectiveTimeout(req time.Duration) time.Duration {
+	if req <= 0 || (c.JobTimeout > 0 && req > c.JobTimeout) {
+		return c.JobTimeout
+	}
+	return req
+}
+
+// SubmitTimeout is Submit with a per-request deadline: the job is
+// cancelled into StateTimedOut if it runs longer than timeout
+// (capped at Config.JobTimeout; ≤ 0 inherits it).
+func (s *Server) SubmitTimeout(spec scenario.Spec, reps int, timeout time.Duration) (job *Job, cached, coalesced bool, err error) {
 	if reps < 1 || reps > s.cfg.MaxReps {
 		return nil, false, false, fmt.Errorf("serve: \"reps\" = %d outside 1–%d", reps, s.cfg.MaxReps)
 	}
@@ -232,6 +392,15 @@ func (s *Server) Submit(spec scenario.Spec, reps int) (job *Job, cached, coalesc
 	if err != nil {
 		return nil, false, false, err
 	}
+	// The canonical spec bytes the journal needs: marshal the compiled
+	// (normalized) spec up front so the admission path below never
+	// fails on it.
+	var canon json.RawMessage
+	if s.journal != nil {
+		if canon, err = json.Marshal(compiled.Spec); err != nil {
+			return nil, false, false, fmt.Errorf("serve: canonicalize spec: %w", err)
+		}
+	}
 	// The cache lookup — which may fault a result in from disk — runs
 	// before the server lock, so slow I/O never stalls unrelated
 	// handlers. The miss-then-computed race this opens (another
@@ -240,8 +409,8 @@ func (s *Server) Submit(spec scenario.Spec, reps int) (job *Job, cached, coalesc
 	ent, disk, hit := s.cache.get(key)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, false, false, ErrClosed
 	}
 	s.counters.Submissions++
@@ -253,6 +422,7 @@ func (s *Server) Submit(spec scenario.Spec, reps int) (job *Job, cached, coalesc
 		}
 		j := s.newJobLocked(key, compiled, reps)
 		j.completeFromCache(ent)
+		s.mu.Unlock()
 		return j, true, false, nil
 	}
 	// Coalesce onto an identical in-flight job — unless that job was
@@ -261,10 +431,12 @@ func (s *Server) Submit(spec scenario.Spec, reps int) (job *Job, cached, coalesc
 	// valid submission with 410 Gone.
 	if j, ok := s.inflight[key]; ok && !j.Status().State.Terminal() {
 		s.counters.Coalesced++
+		s.mu.Unlock()
 		return j, false, true, nil
 	}
 
 	j := s.newJobLocked(key, compiled, reps)
+	j.timeout = s.cfg.effectiveTimeout(timeout)
 	select {
 	case s.queue <- j:
 	default:
@@ -273,9 +445,23 @@ func (s *Server) Submit(spec scenario.Spec, reps int) (job *Job, cached, coalesc
 		s.order = s.order[:len(s.order)-1]
 		s.counters.Rejected++
 		s.counters.Submissions--
+		s.mu.Unlock()
 		return nil, false, false, ErrQueueFull
 	}
 	s.inflight[key] = j
+	if s.journal != nil {
+		j.seq = s.journal.next()
+	}
+	s.mu.Unlock()
+	// Journal the accept outside the server lock (it fsyncs). The job
+	// may already be running; if it finishes before this lands, the
+	// journal collapses the accept/end pair to nothing.
+	if s.journal != nil {
+		s.journal.accept(journalRecord{
+			Seq: j.seq, Op: "accept", Kind: "scenario", Key: key,
+			Spec: canon, Reps: reps, TimeoutS: j.timeout.Seconds(),
+		})
+	}
 	return j, false, false, nil
 }
 
@@ -285,8 +471,11 @@ func (s *Server) Submit(spec scenario.Spec, reps int) (job *Job, cached, coalesc
 // microseconds) and cached. No job is minted and the queue is never
 // touched; the returned bytes are the same entry a model-engine Submit
 // of the identical spec would produce, so the two paths share cache
-// entries and the bit-identical guarantee. Errors: validation errors
-// (specs the analytic model cannot express), ErrClosed.
+// entries and the bit-identical guarantee. Concurrent misses of the
+// same key coalesce onto one solve: the first becomes the leader, the
+// rest wait on its flight and return its bytes (counted as
+// predict_coalesced). Errors: validation errors (specs the analytic
+// model cannot express), ErrClosed.
 func (s *Server) Predict(spec scenario.Spec) (resultJSON []byte, text string, cached bool, err error) {
 	spec.Engine = scenario.EngineModel
 	compiled, err := scenario.Compile(spec)
@@ -313,17 +502,43 @@ func (s *Server) Predict(spec scenario.Spec) (resultJSON []byte, text string, ca
 		s.mu.Unlock()
 		return ent.json, ent.text, true, nil
 	}
+	if fl, ok := s.predict[key]; ok {
+		// An identical solve is in flight; wait for its result instead
+		// of solving again. The leader's outcome (entry or error) is
+		// published before done closes.
+		s.counters.PredictCoalesced++
+		s.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, "", false, fl.err
+		}
+		return fl.ent.json, fl.ent.text, false, nil
+	}
+	fl := &predictFlight{done: make(chan struct{})}
+	s.predict[key] = fl
 	s.mu.Unlock()
 
+	defer func() {
+		s.mu.Lock()
+		delete(s.predict, key)
+		s.mu.Unlock()
+		close(fl.done)
+	}()
+	if f := s.faults; f != nil && f.PredictSolve != nil {
+		f.PredictSolve()
+	}
 	rep, err := scenario.Replications(compiled, 1, 1)
 	if err != nil {
+		fl.err = err
 		return nil, "", false, err
 	}
 	ent, err = encodeResult(key, rep)
 	if err != nil {
+		fl.err = err
 		return nil, "", false, err
 	}
 	s.cache.put(ent)
+	fl.ent = ent
 	return ent.json, ent.text, false, nil
 }
 
@@ -338,6 +553,12 @@ func (s *Server) Predict(spec scenario.Spec) (resultJSON []byte, text string, ca
 // dedupe onto one another. Errors: validation errors (bad campaign
 // spec, replication bound above MaxReps), ErrQueueFull, ErrClosed.
 func (s *Server) SubmitCampaign(spec campaign.Spec) (job *Job, cached, coalesced bool, err error) {
+	return s.SubmitCampaignTimeout(spec, 0)
+}
+
+// SubmitCampaignTimeout is SubmitCampaign with a per-request deadline
+// (capped at Config.JobTimeout; ≤ 0 inherits it).
+func (s *Server) SubmitCampaignTimeout(spec campaign.Spec, timeout time.Duration) (job *Job, cached, coalesced bool, err error) {
 	norm, err := spec.Normalized()
 	if err != nil {
 		return nil, false, false, err
@@ -349,6 +570,12 @@ func (s *Server) SubmitCampaign(spec campaign.Spec) (job *Job, cached, coalesced
 	key, err := campaign.Fingerprint(norm)
 	if err != nil {
 		return nil, false, false, err
+	}
+	var canon json.RawMessage
+	if s.journal != nil {
+		if canon, err = json.Marshal(norm); err != nil {
+			return nil, false, false, fmt.Errorf("serve: canonicalize campaign: %w", err)
+		}
 	}
 	ent, disk, hit := s.cache.get(key)
 	// Grid expansion is O(points) of JSON work; a cache-hit
@@ -364,8 +591,8 @@ func (s *Server) SubmitCampaign(spec campaign.Spec) (job *Job, cached, coalesced
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, false, false, ErrClosed
 	}
 	s.counters.Submissions++
@@ -379,14 +606,17 @@ func (s *Server) SubmitCampaign(spec campaign.Spec) (job *Job, cached, coalesced
 		}
 		j := s.registerLocked(newCampaignJob(s.nextIDLocked("c"), key, &campaign.Compiled{Spec: norm}))
 		j.completeFromCache(ent)
+		s.mu.Unlock()
 		return j, true, false, nil
 	}
 	if j, ok := s.inflight[key]; ok && !j.Status().State.Terminal() {
 		s.counters.Coalesced++
+		s.mu.Unlock()
 		return j, false, true, nil
 	}
 
 	j := s.registerLocked(newCampaignJob(s.nextIDLocked("c"), key, compiled))
+	j.timeout = s.cfg.effectiveTimeout(timeout)
 	select {
 	case s.queue <- j:
 	default:
@@ -395,9 +625,20 @@ func (s *Server) SubmitCampaign(spec campaign.Spec) (job *Job, cached, coalesced
 		s.counters.Rejected++
 		s.counters.Submissions--
 		s.counters.Campaigns--
+		s.mu.Unlock()
 		return nil, false, false, ErrQueueFull
 	}
 	s.inflight[key] = j
+	if s.journal != nil {
+		j.seq = s.journal.next()
+	}
+	s.mu.Unlock()
+	if s.journal != nil {
+		s.journal.accept(journalRecord{
+			Seq: j.seq, Op: "accept", Kind: "campaign", Key: key,
+			Campaign: canon, TimeoutS: j.timeout.Seconds(),
+		})
+	}
 	return j, false, false, nil
 }
 
@@ -424,6 +665,9 @@ func (s *Server) nextIDLocked(prefix string) string {
 
 // registerLocked adds a job to the registry and prunes it down to
 // MaxJobs by evicting the oldest terminal jobs; s.mu must be held.
+// When every resident job is still queued or running nothing can be
+// evicted and the registry stays above the bound — counted as
+// registry_overflow so operators can see the pressure.
 func (s *Server) registerLocked(j *Job) *Job {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -439,6 +683,9 @@ func (s *Server) registerLocked(j *Job) *Job {
 			kept = append(kept, id)
 		}
 		s.order = kept
+		if excess > 0 {
+			s.counters.RegistryOverflow++
+		}
 	}
 	return j
 }
@@ -462,12 +709,80 @@ func (s *Server) Jobs() []*Job {
 	return out
 }
 
-// Stats snapshots the counters plus current cache occupancy.
+// Stats snapshots the counters plus current cache occupancy. Journal
+// and disk-cache write-failure totals are folded in here — they are
+// accounted where the failure happens (no lock-order entanglement with
+// s.mu) and only merged into the snapshot.
 func (s *Server) Stats() (Counters, int) {
 	s.mu.Lock()
 	c := s.counters
 	s.mu.Unlock()
+	if s.journal != nil {
+		_, total := s.journal.failures()
+		c.JournalWriteFailures = total
+	}
+	_, c.DiskCacheWriteFailures = s.cache.diskFailures()
 	return c, s.cache.len()
+}
+
+// Ready reports whether the server should receive traffic, and why not
+// when it should not. It is the /readyz truth source: unready while
+// the journal replay is still re-admitting recovered jobs, while the
+// queue is saturated (a submission now would be rejected), and after
+// degradedAfter consecutive journal or disk-cache write failures
+// (durability is gone even though serving still works). Liveness is a
+// separate, always-200 question — /healthz.
+func (s *Server) Ready() (ok bool, reason string) {
+	if s.replaying.Load() {
+		return false, "journal replay in progress"
+	}
+	s.mu.Lock()
+	closed := s.closed
+	queued := len(s.queue)
+	s.mu.Unlock()
+	if closed {
+		return false, "server closed"
+	}
+	if queued >= s.cfg.QueueDepth {
+		return false, "job queue saturated"
+	}
+	if s.journal != nil {
+		if consec, _ := s.journal.failures(); consec >= degradedAfter {
+			return false, fmt.Sprintf("journal degraded: %d consecutive write failures", consec)
+		}
+	}
+	if consec, _ := s.cache.diskFailures(); consec >= degradedAfter {
+		return false, fmt.Sprintf("disk cache degraded: %d consecutive write failures", consec)
+	}
+	return true, ""
+}
+
+// degradedAfter is the consecutive write-failure count at which a
+// journal or disk cache flips /readyz to 503. A single failure may be
+// transient; three in a row is a full disk.
+const degradedAfter = 3
+
+// RetryAfter estimates how long a rejected submitter should wait before
+// retrying, from the observed mean job service time and the current
+// queue depth spread across the workers. Clamped to [1s, 10min]; with
+// no service-time sample yet the floor applies.
+func (s *Server) RetryAfter() time.Duration {
+	s.mu.Lock()
+	runs, total := s.svcRuns, s.svcTotal
+	queued := len(s.queue)
+	s.mu.Unlock()
+	est := time.Second
+	if runs > 0 && queued > 0 {
+		mean := total / time.Duration(runs)
+		est = time.Duration(math.Ceil(float64(mean)*float64(queued)/float64(s.cfg.Workers)/float64(time.Second))) * time.Second
+	}
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 10*time.Minute {
+		est = 10 * time.Minute
+	}
+	return est
 }
 
 // worker consumes the queue until Close.
@@ -481,42 +796,87 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one dequeued job to a terminal state.
+// runJob executes one dequeued job to a terminal state. A panic
+// anywhere in the job's execution — a replication, a progress callback,
+// result encoding — is recovered here (or inside the par pool, which
+// converts worker panics to *par.PanicError) and fails only this job;
+// the worker goroutine and every other job survive.
 func (s *Server) runJob(j *Job) {
+	started := time.Now()
+	defer func() {
+		if v := recover(); v != nil {
+			err := &par.PanicError{Value: v, Stack: debug.Stack()}
+			j.finish(StateFailed, nil, err.Error())
+			s.finishJob(j, StateFailed, time.Since(started), true)
+		}
+	}()
 	ctx, ok := j.start(s.ctx)
 	if !ok {
 		// Cancelled while queued; nothing ran.
-		s.finishJob(j, func() { s.counters.Cancelled++ })
+		s.finishJob(j, StateCancelled, 0, false)
 		return
 	}
+	var (
+		ent entry
+		err error
+	)
 	if j.camp != nil {
-		s.runCampaignJob(j, ctx)
+		ent, err = s.runCampaignJob(j, ctx)
+	} else {
+		var rep *scenario.Report
+		rep, err = scenario.ReplicationsOpts(j.compiled, j.reps, s.cfg.RepWorkers, scenario.Options{
+			Context:  ctx,
+			Progress: s.progressFn(j),
+		})
+		if err == nil {
+			ent, err = encodeResult(j.key, rep)
+		}
+	}
+	svc := time.Since(started)
+	state, panicked := classify(ctx, err)
+	if err != nil {
+		j.finish(state, nil, err.Error())
+		s.finishJob(j, state, svc, panicked)
 		return
 	}
-	rep, err := scenario.ReplicationsOpts(j.compiled, j.reps, s.cfg.RepWorkers, scenario.Options{
-		Context:  ctx,
-		Progress: j.setProgress,
-	})
+	s.cache.put(ent)
+	j.finish(StateDone, &ent, "")
+	s.finishJob(j, StateDone, svc, false)
+}
+
+// classify maps a job execution error to its terminal state. The
+// deadline check consults the job context — errors.Is on the error
+// alone cannot tell "cancelled because the deadline fired" from
+// "cancelled by DELETE", since both surface context.Canceled from
+// replications already in flight.
+func classify(ctx context.Context, err error) (state State, panicked bool) {
 	switch {
-	case errors.Is(err, context.Canceled):
-		// Cancellation proper. A genuine replication error that merely
-		// coincides with cancellation takes the failed branch below:
-		// MapCtx preserves the lowest-index real error.
-		j.finish(StateCancelled, nil, err.Error())
-		s.finishJob(j, func() { s.counters.Cancelled++ })
-	case err != nil:
-		j.finish(StateFailed, nil, err.Error())
-		s.finishJob(j, func() { s.counters.Failed++ })
+	case err == nil:
+		return StateDone, false
+	case errors.As(err, new(*par.PanicError)):
+		return StateFailed, true
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		return StateTimedOut, false
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return StateCancelled, false
 	default:
-		ent, err := encodeResult(j.key, rep)
-		if err != nil {
-			j.finish(StateFailed, nil, err.Error())
-			s.finishJob(j, func() { s.counters.Failed++ })
-			return
-		}
-		s.cache.put(ent)
-		j.finish(StateDone, &ent, "")
-		s.finishJob(j, func() { s.counters.Completed++ })
+		// A genuine replication error that merely coincides with
+		// cancellation lands here: MapCtx preserves the lowest-index
+		// real error.
+		return StateFailed, false
+	}
+}
+
+// progressFn wraps a job's progress recorder with the per-replication
+// fault hook (nil faults: the job's own method, no wrapper).
+func (s *Server) progressFn(j *Job) func(done, total int) {
+	if s.faults == nil || s.faults.RepHook == nil {
+		return j.setProgress
+	}
+	hook := s.faults.RepHook
+	return func(done, total int) {
+		hook()
+		j.setProgress(done, total)
 	}
 }
 
@@ -525,32 +885,18 @@ func (s *Server) runJob(j *Job) {
 // every grid point and replication batch the cache already knows is
 // adopted instead of simulated, and everything computed is published
 // for future campaigns and direct submissions alike.
-func (s *Server) runCampaignJob(j *Job, ctx context.Context) {
+func (s *Server) runCampaignJob(j *Job, ctx context.Context) (entry, error) {
 	rep, err := campaign.Run(j.camp, campaign.Opts{
 		Workers:   s.cfg.RepWorkers,
 		Context:   ctx,
 		Cache:     (*pointCache)(s),
-		Progress:  j.setProgress,
+		Progress:  s.progressFn(j),
 		PointDone: j.setPoints,
 	})
-	switch {
-	case errors.Is(err, context.Canceled):
-		j.finish(StateCancelled, nil, err.Error())
-		s.finishJob(j, func() { s.counters.Cancelled++ })
-	case err != nil:
-		j.finish(StateFailed, nil, err.Error())
-		s.finishJob(j, func() { s.counters.Failed++ })
-	default:
-		ent, err := encodeCampaignResult(j.key, rep)
-		if err != nil {
-			j.finish(StateFailed, nil, err.Error())
-			s.finishJob(j, func() { s.counters.Failed++ })
-			return
-		}
-		s.cache.put(ent)
-		j.finish(StateDone, &ent, "")
-		s.finishJob(j, func() { s.counters.Completed++ })
+	if err != nil {
+		return entry{}, err
 	}
+	return encodeCampaignResult(j.key, rep)
 }
 
 // pointCache adapts the server's result cache to campaign.Cache: grid
@@ -587,12 +933,107 @@ func (c *pointCache) Put(key string, rep *scenario.Report) {
 	s.cache.put(ent)
 }
 
-// finishJob clears the in-flight slot and bumps a counter under s.mu.
-func (s *Server) finishJob(j *Job, count func()) {
+// finishJob records a job's terminal transition: clears the in-flight
+// slot, bumps the outcome counter, folds the service time into the
+// retry-after estimate, and journals the end — unless Drain is
+// abandoning, in which case a cancelled job's record is deliberately
+// left non-terminal so a restart replays it.
+func (s *Server) finishJob(j *Job, state State, svc time.Duration, panicked bool) {
 	s.mu.Lock()
 	if s.inflight[j.key] == j {
 		delete(s.inflight, j.key)
 	}
-	count()
+	switch state {
+	case StateDone:
+		s.counters.Completed++
+	case StateFailed:
+		s.counters.Failed++
+	case StateCancelled:
+		s.counters.Cancelled++
+	case StateTimedOut:
+		s.counters.TimedOut++
+	}
+	if panicked {
+		s.counters.Panics++
+	}
+	if svc > 0 {
+		s.svcRuns++
+		s.svcTotal += svc
+	}
+	suppress := s.abandoning && state == StateCancelled
+	if suppress {
+		s.abandoned++
+	}
 	s.mu.Unlock()
+	// Journal outside s.mu: the end record write is disk I/O.
+	if s.journal != nil && j.seq != 0 && !suppress {
+		s.journal.end(j.seq, state)
+	}
+}
+
+// replay re-admits the journal's unfinished jobs after a restart. It
+// runs in the background so New returns promptly; /readyz reports 503
+// until it finishes. Each record resubmits through the normal
+// admission path — same validation, same fingerprints — so a replayed
+// study whose result the disk cache already holds completes instantly,
+// and one that was mid-flight at the crash re-simulates to the
+// bit-identical result. The replayed job gets a fresh journal seq; the
+// old record is retired whatever the outcome, including records that
+// no longer validate (a spec from a newer, incompatible build).
+func (s *Server) replay(pending []journalRecord) {
+	defer s.replayWG.Done()
+	defer s.replaying.Store(false)
+	for _, rec := range pending {
+		s.replayOne(rec)
+	}
+}
+
+// replayOne re-admits one journaled accept, blocking (politely) while
+// the queue is full — recovery must not drop jobs to ErrQueueFull.
+func (s *Server) replayOne(rec journalRecord) {
+	timeout := time.Duration(rec.TimeoutS * float64(time.Second))
+	for {
+		var (
+			j   *Job
+			err error
+		)
+		switch rec.Kind {
+		case "scenario":
+			var spec scenario.Spec
+			if err = json.Unmarshal(rec.Spec, &spec); err == nil {
+				j, _, _, err = s.SubmitTimeout(spec, rec.Reps, timeout)
+			}
+		case "campaign":
+			var spec campaign.Spec
+			if err = json.Unmarshal(rec.Campaign, &spec); err == nil {
+				j, _, _, err = s.SubmitCampaignTimeout(spec, timeout)
+			}
+		}
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			// Someone beat the replay to the queue; wait for room.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		case errors.Is(err, ErrClosed):
+			// Shut down before the replay finished; the record stays
+			// live in the journal and the next start replays it.
+			return
+		case err != nil:
+			// The record no longer admits (an incompatible spec from an
+			// older build, say). Log and retire it — replaying it forever
+			// would wedge every future start.
+			log.Printf("serve: journal: dropping unreplayable record seq %d: %v", rec.Seq, err)
+			s.journal.end(rec.Seq, StateFailed)
+			return
+		default:
+			if j != nil {
+				j.markReplayed()
+			}
+			s.mu.Lock()
+			s.counters.Replayed++
+			s.mu.Unlock()
+			s.journal.end(rec.Seq, StateCancelled) // retire the old seq; the resubmission owns a new one
+			return
+		}
+	}
 }

@@ -732,7 +732,7 @@ func TestJobRegistryBounded(t *testing.T) {
 // TestCacheByteBudget: the memory tier evicts by bytes as well as by
 // entry count, but always retains the newest entry.
 func TestCacheByteBudget(t *testing.T) {
-	c, err := newCache(100, 1, "") // 1-byte budget: any two entries overflow
+	c, err := newCache(100, 1, "", nil) // 1-byte budget: any two entries overflow
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,240 @@
+package repro_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// startPlcsrv boots the daemon with extra flags and returns its base
+// URL plus the command (so tests can SIGKILL it). Unlike bootPlcsrv it
+// does not install a cleanup kill — callers that kill deliberately and
+// restart manage the lifetime themselves.
+func startPlcsrv(t *testing.T, plcsrv string, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	srv := exec.Command(plcsrv, append([]string{"-listen", "127.0.0.1:0"}, args...)...)
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return "http://" + addr, srv
+	case <-time.After(30 * time.Second):
+		srv.Process.Kill()
+		srv.Wait()
+		t.Fatal("plcsrv never printed its address")
+		return "", nil
+	}
+}
+
+// getJSON decodes one GET response into v.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+// TestKillRestartRecovery is the crash-safety acceptance pin: plcsrv is
+// SIGKILLed in the middle of a journaled campaign — no drain, no
+// goodbye — restarted on the same journal and cache directories, and
+// must (a) replay the unfinished campaign to completion on its own, (b)
+// serve a result byte-identical to an uninterrupted run, and (c) adopt
+// the replication batches completed before the kill from the disk cache
+// instead of re-simulating them.
+func TestKillRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	plcsrv := buildTool(t, bin, "plcsrv")
+	const campFile = "testdata/campaigns/kill-restart-grid.json"
+	campJSON, err := os.ReadFile(campFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"campaign":%s}`, campJSON)
+	journalDir, cacheDir := t.TempDir(), t.TempDir()
+	// One job worker, serial replications: the campaign advances rep by
+	// rep, so the kill window between "first round published" and
+	// "campaign done" spans seconds.
+	flags := []string{"-journal-dir", journalDir, "-cache-dir", cacheDir, "-workers", "1", "-rep-workers", "1"}
+
+	// Reference first: an uninterrupted run of the same campaign on
+	// clean directories pins the bytes recovery must reproduce.
+	refBase, refCmd := startPlcsrv(t, plcsrv, "-journal-dir", t.TempDir(), "-cache-dir", t.TempDir())
+	defer func() {
+		refCmd.Process.Kill()
+		refCmd.Wait()
+	}()
+	resp, err := http.Post(refBase+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refSub serve.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&refSub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitCampaignDone := func(base, id string) serve.Status {
+		t.Helper()
+		deadline := time.Now().Add(120 * time.Second)
+		for {
+			var st serve.Status
+			getJSON(t, base+"/v1/campaigns/"+id, &st)
+			if st.State.Terminal() {
+				if st.State != serve.StateDone {
+					t.Fatalf("campaign %s: %+v", id, st)
+				}
+				return st
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("campaign %s never finished", id)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitCampaignDone(refBase, refSub.ID)
+	refResp, err := http.Get(refBase + "/v1/campaigns/" + refSub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := io.ReadAll(refResp.Body)
+	refResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim: submit, wait until it is provably mid-flight — past
+	// the first adaptive round (whose per-point batches are already
+	// published to the disk cache) but not finished — then SIGKILL.
+	base, victim := startPlcsrv(t, plcsrv, flags...)
+	resp, err = http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub serve.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submission: status %d", resp.StatusCode)
+	}
+	killDeadline := time.Now().Add(120 * time.Second)
+	for {
+		var st serve.Status
+		getJSON(t, base+"/v1/campaigns/"+sub.ID, &st)
+		// done ≥ 6 replications: round 1 (2 points × 2 reps) finished
+		// AND round 2 is executing, so round 1's cumulative batches are
+		// on disk. The campaign runs 20 replications total, so it is
+		// still seconds from done.
+		if st.Done >= 6 && !st.State.Terminal() {
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("campaign finished before it could be killed: %+v (grow the spec's sim_time_us)", st)
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatalf("campaign never reached the kill window: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil { // SIGKILL: no drain, no journal goodbye
+		t.Fatal(err)
+	}
+	victim.Wait()
+
+	// Restart on the same directories: the journal replays the
+	// campaign without any client resubmitting it.
+	base2, restarted := startPlcsrv(t, plcsrv, flags...)
+	defer func() {
+		restarted.Process.Kill()
+		restarted.Wait()
+	}()
+	var replayed serve.Status
+	listDeadline := time.Now().Add(120 * time.Second)
+	for {
+		var list []serve.Status
+		getJSON(t, base2+"/v1/campaigns", &list)
+		if len(list) > 0 {
+			replayed = list[0]
+			if replayed.State.Terminal() {
+				break
+			}
+		}
+		if time.Now().After(listDeadline) {
+			t.Fatalf("restarted daemon never completed the replayed campaign (last: %+v)", replayed)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if replayed.State != serve.StateDone {
+		t.Fatalf("replayed campaign: %+v", replayed)
+	}
+	if !replayed.Replayed {
+		t.Fatalf("recovered campaign not marked replayed: %+v", replayed)
+	}
+
+	// (b) Byte-identical to the uninterrupted run.
+	gotResp, err := http.Get(base2 + "/v1/campaigns/" + replayed.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(gotResp.Body)
+	gotResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered campaign result differs from the uninterrupted run:\n--- recovered ---\n%.400s\n--- reference ---\n%.400s", got, want)
+	}
+
+	// (c) Recovery reused the work done before the kill: the journal
+	// replayed the job, and at least the first round's batches were
+	// adopted from the disk cache instead of re-simulated.
+	var stats serve.StatsResponse
+	getJSON(t, base2+"/v1/stats", &stats)
+	if stats.Replayed < 1 {
+		t.Errorf("journal_replayed = %d, want ≥ 1", stats.Replayed)
+	}
+	if stats.CampaignPointHits < 1 {
+		t.Errorf("campaign_point_hits = %d, want ≥ 1 (pre-kill batches must come from cache)", stats.CampaignPointHits)
+	}
+	if stats.DiskCacheHits < 1 {
+		t.Errorf("disk_cache_hits = %d, want ≥ 1 (the restarted process starts with a cold memory tier)", stats.DiskCacheHits)
+	}
+}
