@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/backoff"
 	"repro/internal/boost"
+	"repro/internal/campaign"
 	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/hpav"
@@ -409,6 +411,64 @@ func BenchmarkServePredict(b *testing.B) {
 		body := `{"spec":` + fmt.Sprintf(spec, 1) + `}`
 		run(b, func(int) string { return body })
 	})
+}
+
+// cvCampaignSpec is the operating point of the control-variate pair:
+// the adaptive saturation sweep from the acceptance test, targeting the
+// paper's headline collision probability at a ±0.002 half-width. The
+// plain and cv arms share every seed (common random numbers), so the
+// "simreps/op" metric reads the variance-reduction speedup directly off
+// BENCH_results.json: plain needs ~5× the simulated replications the
+// regression-adjusted estimator needs for the same interval.
+func cvCampaignSpec(withCV bool) campaign.Spec {
+	base := scenario.Spec{
+		Name:          "cv-bench-base",
+		SimTimeMicros: 1e6,
+		Seed:          7,
+		Stations:      []scenario.Group{{Count: 1}},
+	}
+	if withCV {
+		base.VarianceReduction = &scenario.VarianceReduction{Kind: scenario.VRControlVariate}
+	}
+	return campaign.Spec{
+		Name:      "cv-bench",
+		Base:      base,
+		Axes:      []campaign.Axis{{Path: "n", Values: []json.RawMessage{[]byte("2"), []byte("3"), []byte("5")}}},
+		Targets:   []campaign.Target{{Metric: "collision_pr", CI: 0.002}},
+		MinReps:   4,
+		MaxReps:   2000,
+		BatchReps: 2,
+	}
+}
+
+// BenchmarkControlVariateCampaign measures the adaptive campaign under
+// both estimators. Each iteration runs the whole grid to convergence;
+// simreps/op is the total number of simulated replications the stopping
+// rule consumed, the quantity the control variate exists to shrink.
+func BenchmarkControlVariateCampaign(b *testing.B) {
+	run := func(b *testing.B, withCV bool) {
+		c, err := campaign.Compile(cvCampaignSpec(withCV))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		var simreps int
+		for i := 0; i < b.N; i++ {
+			rep, err := campaign.Run(c, campaign.Opts{Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range rep.Points {
+				if !p.Converged {
+					b.Fatalf("point %v failed to converge", p.Labels)
+				}
+			}
+			simreps += rep.SimulatedReps
+		}
+		b.ReportMetric(float64(simreps)/float64(b.N), "simreps/op")
+	}
+	b.Run("plain", func(b *testing.B) { run(b, false) })
+	b.Run("cv", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkBoostModelScore measures the model-side scoring cost of one

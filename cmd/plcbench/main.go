@@ -327,6 +327,12 @@ func campaignTable(path string, parallel bool) (*experiments.Table, error) {
 		t.Header = append(t.Header, a.Path)
 	}
 	t.Header = append(t.Header, "reps", "converged")
+	cv := s.Base.CVEnabled()
+	if cv {
+		// Control-variate campaigns grow a speedup column; plain tables
+		// keep the historical header byte for byte.
+		t.Header = append(t.Header, "speedup")
+	}
 	for _, m := range metrics {
 		t.Header = append(t.Header, m+" mean", m+" ±95% CI")
 	}
@@ -336,12 +342,18 @@ func campaignTable(path string, parallel bool) (*experiments.Table, error) {
 	for _, g := range report.Grid() {
 		row := append([]string(nil), g.Labels...)
 		row = append(row, fmt.Sprint(g.Reps), g.Conv)
+		if cv {
+			row = append(row, campaign.FormatSpeedup(g.Speedup))
+		}
 		for _, ms := range g.Metrics {
-			if ms == nil {
+			switch {
+			case ms == nil:
 				row = append(row, "-", "-")
-				continue
+			case ms.CV != nil && ms.CV.Applied:
+				row = append(row, fmt.Sprintf("%.6f", ms.CV.Mean), fmt.Sprintf("%.6f", ms.CV.CI95))
+			default:
+				row = append(row, fmt.Sprintf("%.6f", ms.Summary.Mean), fmt.Sprintf("%.6f", ms.Summary.CI95))
 			}
-			row = append(row, fmt.Sprintf("%.6f", ms.Summary.Mean), fmt.Sprintf("%.6f", ms.Summary.CI95))
 		}
 		t.AddRow(row...)
 	}

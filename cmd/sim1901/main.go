@@ -38,6 +38,17 @@
 // runs both the model and the simulator and prints the per-metric
 // divergence — the model-accuracy study in CLI form.
 //
+// -vr toggles control-variate variance reduction on the scenario
+// without editing the file:
+//
+//	sim1901 -scenario f.json -reps 20 -vr cv
+//
+// pairs every replication with an exactly-computed zero-mean control
+// and prints the regression-adjusted estimate next to the raw interval
+// ("cv ×12.3"); `-vr none` strips a spec's variance_reduction block.
+// The simulated trajectories are bit-identical either way (the controls
+// consume no randomness), only the estimator changes.
+//
 // Campaign mode runs a whole family of scenarios from one file:
 //
 //	sim1901 -campaign examples/campaigns/saturation-error-grid.json -parallel
@@ -100,7 +111,7 @@ func runCampaign(path string, parallel, validateOnly bool) {
 // runScenario is the declarative mode: load, compile, replicate, print.
 // engine, when non-empty, overrides the spec's engine field; compare
 // runs the model-vs-simulation divergence study instead of one report.
-func runScenario(path string, reps int, parallel, validateOnly bool, engine string, compare bool) {
+func runScenario(path string, reps int, parallel, validateOnly bool, engine string, compare bool, vr string) {
 	spec, err := scenario.Load(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sim1901:", err)
@@ -108,6 +119,17 @@ func runScenario(path string, reps int, parallel, validateOnly bool, engine stri
 	}
 	if engine != "" {
 		spec.Engine = engine
+	}
+	switch vr {
+	case "":
+		// Keep whatever the spec declares.
+	case "none", "off":
+		spec.VarianceReduction = nil
+	case "cv", scenario.VRControlVariate:
+		spec.VarianceReduction = &scenario.VarianceReduction{Kind: scenario.VRControlVariate}
+	default:
+		fmt.Fprintf(os.Stderr, "sim1901: -vr %q: want control_variate (or cv) or none\n", vr)
+		os.Exit(2)
 	}
 	workers := 1
 	if parallel {
@@ -183,6 +205,7 @@ func main() {
 		validate    = flag.Bool("validate", false, "parse and compile -scenario/-campaign, report, and exit without running")
 		engine      = flag.String("engine", "", "override the scenario's engine: sim, mac, model or auto (with -scenario)")
 		compare     = flag.Bool("compare", false, "run -scenario through both the analytic model and the simulator and print per-metric divergence")
+		vrFlag      = flag.String("vr", "", "variance reduction for -scenario: control_variate (or cv) enables the paired-control estimator, none strips the spec's block")
 	)
 	flag.Parse()
 
@@ -199,8 +222,8 @@ func main() {
 				repsSet = true
 			}
 		})
-		if *engine != "" || *compare || repsSet {
-			fmt.Fprintln(os.Stderr, "sim1901: -engine, -compare and -reps do not apply to -campaign (set the engine and replication policy in the campaign file)")
+		if *engine != "" || *compare || repsSet || *vrFlag != "" {
+			fmt.Fprintln(os.Stderr, "sim1901: -engine, -compare, -reps and -vr do not apply to -campaign (set the engine, replication policy and variance reduction in the campaign file)")
 			os.Exit(2)
 		}
 		runCampaign(*campaignF, *parallel, *validate)
@@ -213,11 +236,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sim1901: -reps = %d: replications must be ≥ 1\n", *reps)
 			os.Exit(2)
 		}
-		runScenario(*scenarioF, *reps, *parallel, *validate, *engine, *compare)
+		runScenario(*scenarioF, *reps, *parallel, *validate, *engine, *compare, *vrFlag)
 		return
 	}
-	if *validate || *engine != "" || *compare {
-		fmt.Fprintln(os.Stderr, "sim1901: -validate, -engine and -compare require -scenario")
+	if *validate || *engine != "" || *compare || *vrFlag != "" {
+		fmt.Fprintln(os.Stderr, "sim1901: -validate, -engine, -compare and -vr require -scenario")
 		os.Exit(2)
 	}
 

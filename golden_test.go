@@ -42,6 +42,7 @@ func TestGoldenCLIOutput(t *testing.T) {
 	plcbench := buildTool(t, bin, "plcbench")
 	const spec = "testdata/scenarios/tiny-sweep.json"
 	const camp = "testdata/campaigns/tiny-grid.json"
+	const cvCamp = "testdata/campaigns/tiny-cv-grid.json"
 
 	cases := []struct {
 		golden string
@@ -59,6 +60,14 @@ func TestGoldenCLIOutput(t *testing.T) {
 		{"sim1901-campaign.txt", []string{sim1901, "-campaign", camp, "-parallel"}},
 		{"plcbench-campaign.md", []string{plcbench, "-campaign", camp, "-format", "md"}},
 		{"plcbench-campaign.json", []string{plcbench, "-campaign", camp, "-format", "json"}},
+		// Control-variate mode: the scenario report's adjusted-estimate
+		// lines (-vr cv) and the adaptive campaign's converged-reps and
+		// speedup columns, each serial ≡ -parallel.
+		{"sim1901-scenario-cv.txt", []string{sim1901, "-scenario", spec, "-reps", "6", "-vr", "cv"}},
+		{"sim1901-scenario-cv.txt", []string{sim1901, "-scenario", spec, "-reps", "6", "-vr", "cv", "-parallel"}},
+		{"sim1901-campaign-cv.txt", []string{sim1901, "-campaign", cvCamp}},
+		{"sim1901-campaign-cv.txt", []string{sim1901, "-campaign", cvCamp, "-parallel"}},
+		{"plcbench-campaign-cv.md", []string{plcbench, "-campaign", cvCamp, "-format", "md"}},
 	}
 	for _, tc := range cases {
 		name := fmt.Sprintf("%s_%s", filepath.Base(tc.cmd[0]), filepath.Base(tc.golden))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 
 	"repro/internal/scenario"
 )
@@ -53,6 +54,10 @@ type GridRow struct {
 	// Conv is the convergence flag: "yes"/"NO" for adaptive campaigns,
 	// "-" for fixed replication counts.
 	Conv string
+	// Speedup is the point's control-variate variance-reduction factor
+	// (PointResult.Speedup); zero for plain campaigns, where renderers
+	// omit the column entirely.
+	Speedup float64
 	// Metrics holds one summary per Spec.HeadlineMetrics() entry, in
 	// order; nil where the point's engine does not report the metric.
 	Metrics []*scenario.MetricSummary
@@ -64,7 +69,7 @@ func (r *Report) Grid() []GridRow {
 	metrics := r.Spec.HeadlineMetrics()
 	rows := make([]GridRow, len(r.Points))
 	for i, p := range r.Points {
-		row := GridRow{Reps: p.Reps, Conv: "-"}
+		row := GridRow{Reps: p.Reps, Conv: "-", Speedup: p.Speedup}
 		if r.Spec.Adaptive() {
 			row.Conv = "yes"
 			if !p.Converged {
@@ -80,6 +85,33 @@ func (r *Report) Grid() []GridRow {
 		rows[i] = row
 	}
 	return rows
+}
+
+// formatCell renders one metric summary as a table cell. CV-adjusted
+// estimates print the reduced interval (the raw one is in the point's
+// full report); a nil summary means the engine does not report the
+// metric at this point.
+func formatCell(ms *scenario.MetricSummary) string {
+	switch {
+	case ms == nil:
+		return "-"
+	case ms.Summary.N == 1:
+		return fmt.Sprintf("%.6f", ms.Summary.Mean)
+	case ms.CV != nil && ms.CV.Applied:
+		return fmt.Sprintf("%.6f ± %.6f", ms.CV.Mean, ms.CV.CI95)
+	default:
+		return fmt.Sprintf("%.6f ± %.6f", ms.Summary.Mean, ms.Summary.CI95)
+	}
+}
+
+// FormatSpeedup renders a variance-reduction factor for tables: "×12.3"
+// with one decimal, "-" when no estimate applied. Shared by the plain
+// writer and plcbench's markdown/CSV tables so the surfaces agree.
+func FormatSpeedup(s float64) string {
+	if s <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("×%.1f", s)
 }
 
 // Write renders the campaign as aligned plain text: a header describing
@@ -123,25 +155,28 @@ func (r *Report) Write(w io.Writer) error {
 	}
 
 	metrics := s.HeadlineMetrics()
-	header := make([]string, 0, len(s.Axes)+2+len(metrics))
+	cv := s.Base.CVEnabled()
+	header := make([]string, 0, len(s.Axes)+3+len(metrics))
 	for _, a := range s.Axes {
 		header = append(header, a.Path)
 	}
 	header = append(header, "reps", "conv")
+	if cv {
+		// The speedup column exists only for control-variate campaigns,
+		// so plain campaign tables stay byte-identical to the goldens
+		// that predate the estimator.
+		header = append(header, "speedup")
+	}
 	header = append(header, metrics...)
 	rows := [][]string{header}
 	for _, g := range r.Grid() {
 		row := append([]string(nil), g.Labels...)
 		row = append(row, fmt.Sprint(g.Reps), g.Conv)
+		if cv {
+			row = append(row, FormatSpeedup(g.Speedup))
+		}
 		for _, ms := range g.Metrics {
-			switch {
-			case ms == nil:
-				row = append(row, "-")
-			case ms.Summary.N == 1:
-				row = append(row, fmt.Sprintf("%.6f", ms.Summary.Mean))
-			default:
-				row = append(row, fmt.Sprintf("%.6f ± %.6f", ms.Summary.Mean, ms.Summary.CI95))
-			}
+			row = append(row, formatCell(ms))
 		}
 		rows = append(rows, row)
 	}
@@ -149,8 +184,11 @@ func (r *Report) Write(w io.Writer) error {
 	widths := make([]int, len(header))
 	for _, row := range rows {
 		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
+			// Rune count, not byte length: the speedup column's "×"
+			// is multi-byte, and byte-padding would skew every column
+			// to its right.
+			if n := utf8.RuneCountInString(cell); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -160,7 +198,7 @@ func (r *Report) Write(w io.Writer) error {
 	for _, row := range rows {
 		cells := make([]string, len(row))
 		for i, cell := range row {
-			cells[i] = cell + strings.Repeat(" ", widths[i]-len(cell))
+			cells[i] = cell + strings.Repeat(" ", widths[i]-utf8.RuneCountInString(cell))
 		}
 		if _, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(cells, "  "), " ")); err != nil {
 			return err

@@ -64,6 +64,12 @@ type PointResult struct {
 	// Report is the point's aggregated replication report —
 	// byte-identical to running Spec standalone with -reps Reps.
 	Report *scenario.Report `json:"report"`
+	// Speedup is the control-variate variance-reduction factor at the
+	// final count: the minimum VarReduction across the targeted metrics
+	// (across all control-carrying metrics for fixed-rep campaigns).
+	// Zero — and omitted from JSON — for plain campaigns, so their
+	// reports marshal to the same bytes as before the estimator existed.
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // Report is a completed campaign.
@@ -80,17 +86,25 @@ type Report struct {
 
 // pointState tracks one grid point through the replication rounds.
 type pointState struct {
-	point     Point
-	schedule  []int // cumulative replication counts, ending at the cap
-	step      int   // index into schedule of the count being built
-	seeds     []uint64
-	perRep    [][]scenario.Metric
-	accs      []stats.Accumulator // one per metric, in canonical order
-	names     []string            // metric names, from the first replication
-	adoptedTo int                 // reps covered by cache adoption (no re-Put needed)
+	point    Point
+	schedule []int // cumulative replication counts, ending at the cap
+	step     int   // index into schedule of the count being built
+	seeds    []uint64
+	perRep   [][]scenario.Metric
+	controls [][]float64         // per-rep control vectors (CV campaigns only)
+	accs     []stats.Accumulator // one per metric, in canonical order
+	// paired mirrors accs for control-variate campaigns: one paired
+	// accumulator per metric with control channels, nil elsewhere. The
+	// adaptive stopping rule reads its reduced interval.
+	paired    []*stats.PairedAccumulator
+	names     []string // metric names, from the first replication
+	adoptedTo int      // reps covered by cache adoption (no re-Put needed)
 	finished  bool
 	result    PointResult
 }
+
+// cv reports whether this point runs under control-variate estimation.
+func (ps *pointState) cv() bool { return ps.point.Spec.CVEnabled() }
 
 // repSchedule builds a point's cumulative replication schedule.
 func repSchedule(s Spec, engine string) []int {
@@ -140,14 +154,23 @@ func (ps *pointState) converged(s Spec) bool {
 		if acc.N() < 2 {
 			return false
 		}
-		hw := acc.CI95()
+		hw, mean := acc.CI95(), acc.Mean()
+		if ps.paired != nil && ps.paired[mi] != nil {
+			// Adaptive stopping consumes the reduced interval: a point
+			// whose CV-adjusted half-width already meets the goal stops
+			// there, which is where the simulated-rep savings come from.
+			// A declined fit (pilot sample, weak correlation) mirrors the
+			// raw interval, so gated points stop exactly like plain ones.
+			est := ps.paired[mi].Estimate(ps.point.Spec.CVOpts())
+			hw, mean = est.CI95, est.Mean
+		}
 		switch {
 		case tg.CI > 0:
 			if hw > tg.CI {
 				return false
 			}
 		default:
-			if hw > tg.RelCI*math.Abs(acc.Mean()) {
+			if hw > tg.RelCI*math.Abs(mean) {
 				return false
 			}
 		}
@@ -193,13 +216,17 @@ func Run(c *Compiled, opts Opts) (*Report, error) {
 			return err // unreachable: the spec compiled already
 		}
 		ps.finished = true
+		rep := ps.buildReport(reps)
 		ps.result = PointResult{
 			Index:     ps.point.Index,
 			Labels:    ps.point.Labels,
 			Key:       key,
 			Reps:      reps,
 			Converged: conv,
-			Report:    ps.buildReport(reps),
+			Report:    rep,
+		}
+		if ps.cv() {
+			ps.result.Speedup = reportSpeedup(rep, c.Spec.Targets)
 		}
 		pointsDone++
 		if opts.PointDone != nil {
@@ -238,9 +265,13 @@ func Run(c *Compiled, opts Opts) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
-				if rep, ok := opts.Cache.Get(key); ok && cacheUsable(rep, target) {
+				if rep, ok := opts.Cache.Get(key); ok && cacheUsable(rep, target, ps.cv()) {
 					fresh := rep.Points[0].PerRep[len(ps.perRep):target]
-					ps.adopt(rep.Points[0].Seeds[:target], rep.Points[0].PerRep[:target])
+					var ctrls [][]float64
+					if ps.cv() {
+						ctrls = rep.Points[0].Controls[:target]
+					}
+					ps.adopt(rep.Points[0].Seeds[:target], rep.Points[0].PerRep[:target], ctrls)
 					ps.adoptedTo = target
 					scheduled += len(fresh)
 					progress(len(fresh))
@@ -253,19 +284,29 @@ func Run(c *Compiled, opts Opts) (*Report, error) {
 		}
 		scheduled += len(jobs)
 		if len(jobs) > 0 {
-			results, err := par.MapCtx(ctx, opts.Workers, jobs, func(_ int, j job) ([]scenario.Metric, error) {
-				m, err := scenario.RunOnce(j.ps.point.Compiled.Points[0], j.seed)
+			type repOut struct {
+				metrics  []scenario.Metric
+				controls []float64
+			}
+			results, err := par.MapCtx(ctx, opts.Workers, jobs, func(_ int, j job) (repOut, error) {
+				var out repOut
+				var err error
+				if j.ps.cv() {
+					out.metrics, out.controls, err = scenario.RunOnceCV(j.ps.point.Compiled.Points[0], j.seed)
+				} else {
+					out.metrics, err = scenario.RunOnce(j.ps.point.Compiled.Points[0], j.seed)
+				}
 				if err == nil {
 					progress(1)
 				}
-				return m, err
+				return out, err
 			})
 			if err != nil {
 				return nil, err
 			}
 			out.SimulatedReps += len(jobs)
 			for ji, j := range jobs {
-				j.ps.addRep(j.seed, results[ji])
+				j.ps.addRep(j.seed, results[ji].metrics, results[ji].controls)
 			}
 		}
 
@@ -313,43 +354,74 @@ func Run(c *Compiled, opts Opts) (*Report, error) {
 }
 
 // cacheUsable sanity-checks a cached report before adoption: one point,
-// the right replication count, per-rep metrics present.
-func cacheUsable(rep *scenario.Report, reps int) bool {
-	return rep != nil && rep.Reps == reps && len(rep.Points) == 1 &&
-		len(rep.Points[0].PerRep) == reps && len(rep.Points[0].Seeds) == reps
+// the right replication count, per-rep metrics present — and, for
+// control-variate points, the control vectors, without which adoption
+// could not continue the paired accumulators into later batches.
+func cacheUsable(rep *scenario.Report, reps int, cv bool) bool {
+	if rep == nil || rep.Reps != reps || len(rep.Points) != 1 ||
+		len(rep.Points[0].PerRep) != reps || len(rep.Points[0].Seeds) != reps {
+		return false
+	}
+	return !cv || len(rep.Points[0].Controls) == reps
 }
 
 // addRep folds one freshly simulated replication into the state.
-func (ps *pointState) addRep(seed uint64, metrics []scenario.Metric) {
+func (ps *pointState) addRep(seed uint64, metrics []scenario.Metric, controls []float64) {
 	ps.seeds = append(ps.seeds, seed)
 	ps.perRep = append(ps.perRep, metrics)
-	ps.fold(metrics)
+	if ps.cv() {
+		ps.controls = append(ps.controls, controls)
+	}
+	ps.fold(metrics, controls)
 }
 
 // adopt replaces the state's sample with a cached one. The overlap is
 // bit-identical by construction (same seeds, deterministic engines), so
 // accumulators are rebuilt only for the new tail.
-func (ps *pointState) adopt(seeds []uint64, perRep [][]scenario.Metric) {
+func (ps *pointState) adopt(seeds []uint64, perRep [][]scenario.Metric, controls [][]float64) {
 	from := len(ps.perRep)
 	ps.seeds = append([]uint64(nil), seeds...)
 	ps.perRep = append([][]scenario.Metric(nil), perRep...)
-	for _, m := range perRep[from:] {
-		ps.fold(m)
+	if ps.cv() {
+		ps.controls = append([][]float64(nil), controls...)
+	}
+	for i, m := range perRep[from:] {
+		var c []float64
+		if ps.cv() {
+			c = controls[from+i]
+		}
+		ps.fold(m, c)
 	}
 }
 
 // fold updates the per-metric accumulators with one replication.
-func (ps *pointState) fold(metrics []scenario.Metric) {
+func (ps *pointState) fold(metrics []scenario.Metric, controls []float64) {
 	if ps.names == nil {
 		ps.names = make([]string, len(metrics))
 		ps.accs = make([]stats.Accumulator, len(metrics))
 		for i, m := range metrics {
 			ps.names[i] = m.Name
 		}
+		if ps.cv() {
+			ps.paired = make([]*stats.PairedAccumulator, len(metrics))
+			for i, m := range metrics {
+				if cols := scenario.CVControlColumns(m.Name); len(cols) > 0 {
+					ps.paired[i] = stats.NewPaired(len(cols))
+				}
+			}
+		}
 	}
 	for i, m := range metrics {
 		if i < len(ps.accs) {
 			ps.accs[i].Add(m.Value)
+		}
+		if i < len(ps.paired) && ps.paired[i] != nil && controls != nil {
+			cols := scenario.CVControlColumns(m.Name)
+			row := make([]float64, len(cols))
+			for ci, col := range cols {
+				row[ci] = controls[col]
+			}
+			ps.paired[i].Add(m.Value, row)
 		}
 	}
 }
@@ -361,9 +433,43 @@ func (ps *pointState) fold(metrics []scenario.Metric) {
 func (ps *pointState) buildReport(reps int) *scenario.Report {
 	seeds := append([]uint64(nil), ps.seeds[:reps]...)
 	perRep := append([][]scenario.Metric(nil), ps.perRep[:reps]...)
+	var controls [][]float64
+	if ps.cv() {
+		controls = append([][]float64(nil), ps.controls[:reps]...)
+	}
 	return &scenario.Report{
 		Spec:   ps.point.Spec,
 		Reps:   reps,
-		Points: []scenario.PointReport{scenario.SummarizePoint(ps.point.Compiled.Points[0].N, seeds, perRep)},
+		Points: []scenario.PointReport{scenario.SummarizePoint(ps.point.Compiled.Points[0].N, seeds, perRep, controls, ps.point.Spec.VarianceReduction)},
 	}
+}
+
+// reportSpeedup reduces a point's CV estimates to the single speedup
+// figure the grid table shows: the minimum variance-reduction factor
+// across the targeted metrics (across every control-carrying metric for
+// fixed-rep campaigns) — i.e. the factor the slowest-improving targeted
+// estimate gained. A declined fit counts as ×1; zero means no metric
+// carried an estimate at all.
+func reportSpeedup(rep *scenario.Report, targets []Target) float64 {
+	targeted := map[string]bool{}
+	for _, tg := range targets {
+		targeted[tg.Metric] = true
+	}
+	speedup := 0.0
+	for _, m := range rep.Points[0].Metrics {
+		if len(targets) > 0 && !targeted[m.Name] {
+			continue
+		}
+		if m.CV == nil {
+			continue
+		}
+		vr := 1.0
+		if m.CV.Applied {
+			vr = m.CV.VarReduction
+		}
+		if speedup == 0 || vr < speedup {
+			speedup = vr
+		}
+	}
+	return speedup
 }

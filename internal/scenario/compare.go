@@ -52,6 +52,10 @@ type CompareReport struct {
 func Compare(spec Spec, reps, workers int) (*CompareReport, error) {
 	ms := spec
 	ms.Engine = EngineModel
+	// The model side is deterministic: variance reduction is meaningless
+	// there (and rejected by Validate), so a CV-enabled sim spec still
+	// compares cleanly.
+	ms.VarianceReduction = nil
 	mc, err := Compile(ms)
 	if err != nil {
 		return nil, err

@@ -316,16 +316,7 @@ func RunOnce(p Point, seed uint64) ([]Metric, error) {
 		if err != nil {
 			return nil, err
 		}
-		r := e.Run()
-		return []Metric{
-			{"collision_pr", r.CollisionProbability},
-			{"norm_throughput", r.NormalizedThroughput},
-			{"successes", float64(r.Successes)},
-			{"collided_frames", float64(r.CollidedFrames)},
-			{"frame_errors", float64(r.FrameErrors)},
-			{"idle_slots", float64(r.IdleSlots)},
-			{"elapsed_us", r.Elapsed},
-		}, nil
+		return simMetrics(e.Run()), nil
 
 	case p.MacPlan != nil:
 		nw := buildMac(p.MacPlan, seed)
@@ -350,5 +341,71 @@ func RunOnce(p Point, seed uint64) ([]Metric, error) {
 
 	default:
 		return nil, fmt.Errorf("scenario: point compiled to no engine")
+	}
+}
+
+// simMetrics converts a sim result into the canonical metric vector.
+func simMetrics(r sim.Result) []Metric {
+	return []Metric{
+		{"collision_pr", r.CollisionProbability},
+		{"norm_throughput", r.NormalizedThroughput},
+		{"successes", float64(r.Successes)},
+		{"collided_frames", float64(r.CollidedFrames)},
+		{"frame_errors", float64(r.FrameErrors)},
+		{"idle_slots", float64(r.IdleSlots)},
+		{"elapsed_us", r.Elapsed},
+	}
+}
+
+// RunOnceCV executes one replication of a sim-engine point with the
+// engine's martingale control variates enabled, returning the canonical
+// metrics plus the run's control vector (sim.ControlNames order). The
+// controls consume no randomness, so the metrics are bit-identical to
+// RunOnce on the same point and seed — that is the common-random-numbers
+// property the control-variate estimator depends on, and a test pins
+// it. Points compiled for the model or mac engines are rejected;
+// Spec.Validate keeps such specs from requesting variance reduction in
+// the first place.
+func RunOnceCV(p Point, seed uint64) ([]Metric, []float64, error) {
+	if p.SimInputs == nil {
+		return nil, nil, fmt.Errorf("scenario: control variates require a sim-engine point")
+	}
+	in := *p.SimInputs
+	in.Seed = seed
+	e, err := sim.NewEngine(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.EnableControls()
+	r := e.Run()
+	return simMetrics(r), r.Controls, nil
+}
+
+// CVControlColumns maps a sim metric name to the control channels
+// (indices into a replication's control vector) its control-variate
+// regression uses. Each metric gets only the channels that plausibly
+// explain it: a ratio like collision_pr gets its numerator and
+// denominator channels, a raw counter gets its own channel. Keeping the
+// per-metric regressions small preserves residual degrees of freedom at
+// the pilot-size samples adaptive campaigns start from. Unknown (mac-
+// or model-only) metric names return nil: no controls, raw estimate.
+func CVControlColumns(name string) []int {
+	switch name {
+	case "collision_pr":
+		return []int{sim.CtrlCollidedFrames, sim.CtrlSuccesses, sim.CtrlFrameErrors}
+	case "norm_throughput":
+		return []int{sim.CtrlSuccesses, sim.CtrlElapsed}
+	case "successes":
+		return []int{sim.CtrlSuccesses}
+	case "collided_frames":
+		return []int{sim.CtrlCollidedFrames}
+	case "frame_errors":
+		return []int{sim.CtrlFrameErrors}
+	case "idle_slots":
+		return []int{sim.CtrlIdleSlots}
+	case "elapsed_us":
+		return []int{sim.CtrlElapsed}
+	default:
+		return nil
 	}
 }

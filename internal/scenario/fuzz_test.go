@@ -30,6 +30,11 @@ func seedFromExamples(f *testing.F) {
 	f.Add([]byte(`{"name":"x","sim_time_us":1e308,"stations":[{"count":1}]}`))
 	f.Add([]byte(`{"name":"x","sim_time_us":1,"sweep_n":[0],"stations":[{"count":0}]}`))
 	f.Add([]byte(`{"name":"x","sim_time_us":1,"stations":[{"count":1,"cw":[1],"dc":[0],"error_prob":1}]}`))
+	// Variance-reduction blocks: the canonicalization boundary (a
+	// disabled block must normalize away without moving the
+	// fingerprint), plus hostile knob values the validator must reject.
+	f.Add([]byte(`{"name":"x","sim_time_us":1,"stations":[{"count":1}],"variance_reduction":{"kind":"none"}}`))
+	f.Add([]byte(`{"name":"x","sim_time_us":1,"stations":[{"count":1}],"variance_reduction":{"kind":"control_variate","pilot_reps":-1,"min_corr":1e308,"max_beta":-0.5}}`))
 }
 
 // FuzzSpecDecode asserts the decode→normalize→encode→decode round trip

@@ -40,6 +40,11 @@ func RepSeed(policy string, base uint64, point, rep int) uint64 {
 type MetricSummary struct {
 	Name    string        `json:"name"`
 	Summary stats.Summary `json:"summary"`
+	// CV carries the control-variate estimate when the spec enables
+	// variance reduction and the metric has control channels; nil
+	// otherwise, so plain reports marshal to the same bytes as before
+	// the estimator existed.
+	CV *stats.CVEstimate `json:"cv,omitempty"`
 }
 
 // PointReport is one sweep point's aggregated result.
@@ -54,6 +59,10 @@ type PointReport struct {
 	// PerRep holds the raw per-replication metrics (replication-major),
 	// so callers can post-process beyond mean/CI.
 	PerRep [][]Metric `json:"per_rep"`
+	// Controls holds each replication's control-variate vector
+	// (replication-major, sim.ControlNames order) when the spec enables
+	// variance reduction; nil otherwise.
+	Controls [][]float64 `json:"controls,omitempty"`
 }
 
 // Report is the aggregated outcome of Replications.
@@ -122,10 +131,21 @@ func ReplicationsOpts(c *Compiled, reps, workers int, opts Options) (*Report, er
 			jobs = append(jobs, job{pi, r, RepSeed(c.Spec.SeedPolicy, c.Spec.Seed, pi, r)})
 		}
 	}
+	cv := c.Spec.CVEnabled()
+	type repOut struct {
+		metrics  []Metric
+		controls []float64
+	}
 	var progressMu sync.Mutex
 	done := 0
-	results, err := par.MapCtx(ctx, workers, jobs, func(_ int, j job) ([]Metric, error) {
-		m, err := RunOnce(c.Points[j.point], j.seed)
+	results, err := par.MapCtx(ctx, workers, jobs, func(_ int, j job) (repOut, error) {
+		var out repOut
+		var err error
+		if cv {
+			out.metrics, out.controls, err = RunOnceCV(c.Points[j.point], j.seed)
+		} else {
+			out.metrics, err = RunOnce(c.Points[j.point], j.seed)
+		}
 		if err == nil && opts.Progress != nil {
 			// Deferred unlock: a Progress callback that panics must not
 			// leave the mutex held (par recovers the panic into an error,
@@ -137,7 +157,7 @@ func ReplicationsOpts(c *Compiled, reps, workers int, opts Options) (*Report, er
 				opts.Progress(done, len(jobs))
 			}()
 		}
-		return m, err
+		return out, err
 	})
 	if err != nil {
 		return nil, err
@@ -147,12 +167,19 @@ func ReplicationsOpts(c *Compiled, reps, workers int, opts Options) (*Report, er
 	for pi, p := range c.Points {
 		seeds := make([]uint64, reps)
 		perRep := make([][]Metric, reps)
+		var controls [][]float64
+		if cv {
+			controls = make([][]float64, reps)
+		}
 		for r := 0; r < reps; r++ {
 			j := pi*reps + r
 			seeds[r] = jobs[j].seed
-			perRep[r] = results[j]
+			perRep[r] = results[j].metrics
+			if cv {
+				controls[r] = results[j].controls
+			}
 		}
-		rep.Points = append(rep.Points, SummarizePoint(p.N, seeds, perRep))
+		rep.Points = append(rep.Points, SummarizePoint(p.N, seeds, perRep, controls, c.Spec.VarianceReduction))
 	}
 	return rep, nil
 }
@@ -163,15 +190,44 @@ func ReplicationsOpts(c *Compiled, reps, workers int, opts Options) (*Report, er
 // order. This is the exact reduction Replications applies, exported so
 // that other runners (the campaign engine's adaptive batches) produce
 // byte-identical point reports from the same per-replication values.
-func SummarizePoint(n int, seeds []uint64, perRep [][]Metric) PointReport {
+//
+// controls and vr drive the control-variate estimator: when vr requests
+// control_variate and controls carries one vector per replication, each
+// metric with control channels additionally gets a CVEstimate computed
+// by the canonical two-pass stats.SummarizeCV — a pure function of the
+// ordered sample, hence bit-identical between serial and parallel runs.
+// Plain callers pass (nil, nil) and get exactly the historical
+// reduction.
+func SummarizePoint(n int, seeds []uint64, perRep [][]Metric, controls [][]float64, vr *VarianceReduction) PointReport {
 	pr := PointReport{N: n, Seeds: seeds, PerRep: perRep}
+	cvOn := vr != nil && vr.Kind == VRControlVariate && len(controls) == len(perRep)
+	var opts stats.CVOpts
+	if cvOn {
+		pr.Controls = controls
+		opts = stats.CVOpts{PilotReps: vr.PilotReps, MinCorr: vr.MinCorr, MaxBeta: vr.MaxBeta}
+	}
 	first := perRep[0]
 	sample := make([]float64, len(perRep))
 	for mi, m := range first {
 		for r := range perRep {
 			sample[r] = perRep[r][mi].Value
 		}
-		pr.Metrics = append(pr.Metrics, MetricSummary{Name: m.Name, Summary: stats.Summarize(sample)})
+		ms := MetricSummary{Name: m.Name, Summary: stats.Summarize(sample)}
+		if cvOn {
+			if cols := CVControlColumns(m.Name); len(cols) > 0 {
+				cs := make([][]float64, len(perRep))
+				for r := range perRep {
+					row := make([]float64, len(cols))
+					for ci, col := range cols {
+						row[ci] = controls[r][col]
+					}
+					cs[r] = row
+				}
+				est := stats.SummarizeCV(sample, cs, opts)
+				ms.CV = &est
+			}
+		}
+		pr.Metrics = append(pr.Metrics, ms)
 	}
 	return pr
 }
@@ -219,6 +275,24 @@ func (r *Report) Write(w io.Writer) error {
 				// print a zero-width one.
 				if _, err := fmt.Fprintf(w, "%s%s = %.6f   (n=1, no CI)\n",
 					m.Name, pad, m.Summary.Mean); err != nil {
+					return err
+				}
+				continue
+			}
+			if m.CV != nil {
+				// Control-variate runs print the adjusted estimate; the
+				// raw half-width rides along so the reduction is visible
+				// at a glance. A declined fit (weak correlation, pilot
+				// sample) falls back to the raw estimate, marked "cv off".
+				if m.CV.Applied {
+					if _, err := fmt.Fprintf(w, "%s%s = %.6f ± %.6f   (95%% CI, n=%d, cv ×%.1f, raw ± %.6f)\n",
+						m.Name, pad, m.CV.Mean, m.CV.CI95, m.Summary.N, m.CV.VarReduction, m.CV.RawCI95); err != nil {
+						return err
+					}
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s%s = %.6f ± %.6f   (95%% CI, n=%d, sd %.6g, cv off)\n",
+					m.Name, pad, m.Summary.Mean, m.Summary.CI95, m.Summary.N, m.Summary.StdDev); err != nil {
 					return err
 				}
 				continue

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/hpav"
+	"repro/internal/stats"
 )
 
 // Engine names accepted by Spec.Engine.
@@ -78,6 +79,39 @@ const (
 	// occupies an address). Requires the mac engine.
 	TrafficNone = "none"
 )
+
+// Variance-reduction kinds accepted by VarianceReduction.Kind.
+const (
+	// VRNone disables variance reduction explicitly; a block with this
+	// kind normalizes away entirely, so a spec carrying it is
+	// byte-identical (and fingerprint-identical) to one without the
+	// block.
+	VRNone = "none"
+	// VRControlVariate estimates every metric as sim − β·control using
+	// the engine's martingale control variates (sim.Result.Controls)
+	// under common random numbers: the controls consume no randomness,
+	// so the underlying replications are bit-identical to a plain run's.
+	// Requires a sim-engine-expressible spec.
+	VRControlVariate = "control_variate"
+)
+
+// VarianceReduction configures the control-variate estimator of the
+// replication path. The zero values of the tuning fields select the
+// internal/stats defaults; Normalized writes them out explicitly so
+// fingerprints pin them.
+type VarianceReduction struct {
+	// Kind is "none" or "control_variate".
+	Kind string `json:"kind"`
+	// PilotReps is the smallest sample on which a fitted β is trusted
+	// (default stats.DefaultPilotReps).
+	PilotReps int `json:"pilot_reps,omitempty"`
+	// MinCorr gates the fit on the multiple correlation between metric
+	// and controls (default stats.DefaultMinCorr).
+	MinCorr float64 `json:"min_corr,omitempty"`
+	// MaxBeta clamps each coefficient to MaxBeta·sd(y)/sd(c) (default
+	// stats.DefaultMaxBeta).
+	MaxBeta float64 `json:"max_beta,omitempty"`
+}
 
 // Traffic describes one station group's arrival process.
 type Traffic struct {
@@ -159,6 +193,12 @@ type Spec struct {
 	// beacon every period µs (mac engine only; HomePlug AV uses two AC
 	// line cycles, 33330 µs at 60 Hz).
 	BeaconPeriodMicros float64 `json:"beacon_period_us,omitempty"`
+	// VarianceReduction, when present with kind "control_variate",
+	// switches the replication path to the control-variate estimator
+	// (sim engine only). A block with kind "none" is dropped by
+	// normalization, so present-but-disabled specs fingerprint
+	// identically to specs without the block.
+	VarianceReduction *VarianceReduction `json:"variance_reduction,omitempty"`
 	// Stations declares the population, group by group.
 	Stations []Group `json:"stations"`
 }
@@ -286,7 +326,55 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %s: engine \"model\" cannot express %s; the analytic model answers saturated single-class scenarios only (use \"mac\")", s.Name, why)
 		}
 	}
+	if v := s.VarianceReduction; v != nil {
+		switch v.Kind {
+		case "", VRNone:
+		case VRControlVariate:
+			// The martingale controls are a property of the
+			// slot-synchronous engine: the analytic model is already
+			// deterministic (nothing to reduce) and the event-driven MAC
+			// exposes no control channels.
+			if s.Engine == EngineModel || s.Engine == EngineMac {
+				return fmt.Errorf("scenario %s: variance_reduction %q requires the sim engine, not %q",
+					s.Name, v.Kind, s.Engine)
+			}
+			if why := s.needsMac(); why != "" {
+				return fmt.Errorf("scenario %s: variance_reduction %q cannot express %s (sim engine only)",
+					s.Name, v.Kind, why)
+			}
+		default:
+			return fmt.Errorf("scenario %s: unknown variance_reduction kind %q (want %q or %q)",
+				s.Name, v.Kind, VRNone, VRControlVariate)
+		}
+		if v.PilotReps < 0 {
+			return fmt.Errorf("scenario %s: variance_reduction \"pilot_reps\" = %d must be ≥ 0", s.Name, v.PilotReps)
+		}
+		if v.MinCorr < 0 || v.MinCorr >= 1 || math.IsNaN(v.MinCorr) {
+			return fmt.Errorf("scenario %s: variance_reduction \"min_corr\" = %v outside [0, 1)", s.Name, v.MinCorr)
+		}
+		if v.MaxBeta < 0 || math.IsNaN(v.MaxBeta) || math.IsInf(v.MaxBeta, 0) {
+			return fmt.Errorf("scenario %s: variance_reduction \"max_beta\" = %v must be ≥ 0 and finite", s.Name, v.MaxBeta)
+		}
+	}
 	return nil
+}
+
+// CVEnabled reports whether the spec requests the control-variate
+// estimator. Meaningful on normalized specs (where a disabled block has
+// already been dropped), but safe on any spec.
+func (s Spec) CVEnabled() bool {
+	return s.VarianceReduction != nil && s.VarianceReduction.Kind == VRControlVariate
+}
+
+// CVOpts converts the spec's variance-reduction block into the stats
+// package's estimator options (zero value when the block is absent —
+// the stats layer fills its own defaults either way).
+func (s Spec) CVOpts() stats.CVOpts {
+	v := s.VarianceReduction
+	if v == nil {
+		return stats.CVOpts{}
+	}
+	return stats.CVOpts{PilotReps: v.PilotReps, MinCorr: v.MinCorr, MaxBeta: v.MaxBeta}
 }
 
 func (s Spec) validateGroup(gi int, g Group) error {
@@ -402,6 +490,24 @@ func (s Spec) Normalized() (Spec, error) {
 	}
 	if out.FrameMicros == 0 {
 		out.FrameMicros = 2050
+	}
+	if v := s.VarianceReduction; v == nil || v.Kind == "" || v.Kind == VRNone {
+		// A disabled block normalizes away entirely: present-but-off is
+		// the same regime as absent, and must canonicalize (and
+		// fingerprint) identically.
+		out.VarianceReduction = nil
+	} else {
+		nv := *v
+		if nv.PilotReps == 0 {
+			nv.PilotReps = stats.DefaultPilotReps
+		}
+		if nv.MinCorr == 0 {
+			nv.MinCorr = stats.DefaultMinCorr
+		}
+		if nv.MaxBeta == 0 {
+			nv.MaxBeta = stats.DefaultMaxBeta
+		}
+		out.VarianceReduction = &nv
 	}
 	out.SweepN = append([]int(nil), s.SweepN...)
 	out.Stations = make([]Group, len(s.Stations))

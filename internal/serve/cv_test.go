@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestServeCVDistinctCacheEntries pins the serving-layer half of the
+// variance-reduction cache contract: a CV-enabled spec is a different
+// computation than the plain spec, so its submission must miss the
+// plain entry and produce its own — while a present-but-disabled block
+// normalizes away and dedupes onto the plain entry. A collision in
+// either direction would serve a report whose estimator does not match
+// the submitted spec.
+func TestServeCVDistinctCacheEntries(t *testing.T) {
+	s := mustNew(t, Config{})
+	defer s.Close()
+
+	plain := tinySpec("vr-keys")
+	j1, cached, _, err := s.Submit(plain, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first plain submission unexpectedly cached")
+	}
+	waitDone(t, j1)
+	plainJSON, plainText, ok := j1.Result()
+	if !ok {
+		t.Fatal("plain job has no result")
+	}
+
+	cv := tinySpec("vr-keys")
+	cv.VarianceReduction = &scenario.VarianceReduction{Kind: scenario.VRControlVariate}
+	j2, cached, coalesced, err := s.Submit(cv, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || coalesced {
+		t.Fatalf("CV submission answered from the plain entry: cached=%v coalesced=%v", cached, coalesced)
+	}
+	if j2.Key() == j1.Key() {
+		t.Fatalf("plain and CV specs share fingerprint %s", j1.Key())
+	}
+	waitDone(t, j2)
+	cvJSON, cvText, ok := j2.Result()
+	if !ok {
+		t.Fatal("CV job has no result")
+	}
+	if bytes.Equal(plainJSON, cvJSON) {
+		t.Error("plain and CV results are byte-identical; the estimator did not run")
+	}
+	if !strings.Contains(cvText, "cv") {
+		t.Errorf("CV text rendering lacks the estimator annotation:\n%s", cvText)
+	}
+	if strings.Contains(plainText, "cv") {
+		t.Errorf("plain text rendering mentions the estimator:\n%s", plainText)
+	}
+
+	// kind "none" is the same study as no block at all: cache hit.
+	disabled := tinySpec("vr-keys")
+	disabled.VarianceReduction = &scenario.VarianceReduction{Kind: scenario.VRNone}
+	j3, cached, _, err := s.Submit(disabled, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("disabled-kind submission missed the plain cache entry")
+	}
+	if j3.Key() != j1.Key() {
+		t.Errorf("disabled-kind fingerprint %s differs from plain %s", j3.Key(), j1.Key())
+	}
+	disabledJSON, _, ok := j3.Result()
+	if !ok {
+		t.Fatal("disabled-kind job has no result")
+	}
+	if !bytes.Equal(plainJSON, disabledJSON) {
+		t.Error("disabled-kind result differs from the plain bytes")
+	}
+}

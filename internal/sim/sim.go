@@ -170,6 +170,12 @@ type Result struct {
 
 	// PerStation holds each station's counters, indexed by station.
 	PerStation []StationStats
+
+	// Controls holds the run's martingale control variates (realized −
+	// expected per channel, ControlNames order) when the engine ran with
+	// EnableControls; nil otherwise. Each entry has exactly zero
+	// expectation under the run's random draws — see control.go.
+	Controls []float64
 }
 
 // StationStats are the per-station counters the emulated testbed also
@@ -256,6 +262,7 @@ type Engine struct {
 	txMask   []bool // scratch: transmitter membership during a collision
 	snaps    []backoff.Snapshot
 	observer Observer
+	ctrl     *controller // non-nil after EnableControls (see control.go)
 }
 
 // errStreamBase labels the per-station channel-error streams split off
@@ -303,6 +310,11 @@ func (e *Engine) Station(i int) *backoff.Station { return e.stations[i] }
 func (e *Engine) Run() Result {
 	res := Result{Inputs: e.in, PerStation: make([]StationStats, e.in.N)}
 
+	// The first cycle's draws happen inside Start; its conditional
+	// expectation must be captured before they do.
+	if e.ctrl != nil {
+		e.ctrl.predictInitial()
+	}
 	for i, s := range e.stations {
 		e.intents[i] = s.Start()
 	}
@@ -359,6 +371,9 @@ func (e *Engine) Run() Result {
 			res.Successes++
 			res.PerStation[w].Successes++
 			res.PerStation[w].Attempts++
+			if e.ctrl != nil {
+				e.ctrl.predictNext(t+e.in.Ts, w)
+			}
 			for i, s := range e.stations {
 				e.intents[i] = s.AfterBusy(i == w, true)
 			}
@@ -373,6 +388,9 @@ func (e *Engine) Run() Result {
 			res.FrameErrors++
 			res.PerStation[w].Errored++
 			res.PerStation[w].Attempts++
+			if e.ctrl != nil {
+				e.ctrl.predictNext(t+e.in.Ts, -1)
+			}
 			for i, s := range e.stations {
 				e.intents[i] = s.AfterBusy(i == w, false)
 			}
@@ -385,6 +403,9 @@ func (e *Engine) Run() Result {
 				e.txMask[i] = true
 				res.PerStation[i].Collided++
 				res.PerStation[i].Attempts++
+			}
+			if e.ctrl != nil {
+				e.ctrl.predictNext(t+e.in.Tc, -1)
 			}
 			for i, s := range e.stations {
 				e.intents[i] = s.AfterBusy(e.txMask[i], false)
@@ -406,6 +427,9 @@ func (e *Engine) Run() Result {
 		res.CollisionProbability = float64(res.CollidedFrames) / float64(attempts)
 	}
 	res.NormalizedThroughput = float64(res.Successes) * e.in.FrameLength / t
+	if e.ctrl != nil {
+		e.ctrl.finish(&res)
+	}
 	return res
 }
 

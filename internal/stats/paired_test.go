@@ -1,0 +1,499 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// gauss draws a standard normal via Box–Muller from the repo's seeded
+// generator, so every statistical test here is deterministic.
+func gauss(src *rng.Source) float64 {
+	u := src.Float64()
+	for u == 0 {
+		u = src.Float64()
+	}
+	v := src.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+func relClose(x, y, tol float64) bool {
+	return math.Abs(x-y) <= tol*(1+math.Abs(x)+math.Abs(y))
+}
+
+// --- Accumulator.Merge edge-case properties (satellite: n=0/n=1 audit) ---
+
+// Merging singleton accumulators in sample order must reproduce
+// sequential Add bit for bit — this is what makes a parallel run's
+// per-replication shards replayable into the exact serial moments.
+func TestAccumulatorSingletonMergeBitIdentical(t *testing.T) {
+	f := func(raw []int16) bool {
+		var seq, merged Accumulator
+		for _, r := range raw {
+			x := float64(r) / 7
+			seq.Add(x)
+			var one Accumulator
+			one.Add(x)
+			merged.Merge(one)
+		}
+		return seq == merged
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Merging a singleton into a populated accumulator must equal Adding the
+// value directly — bit for bit, not just within rounding.
+func TestAccumulatorMergeSingletonArgumentIsAdd(t *testing.T) {
+	f := func(raw []int16, last int16) bool {
+		var a, b Accumulator
+		for _, r := range raw {
+			x := float64(r) / 3
+			a.Add(x)
+			b.Add(x)
+		}
+		a.Add(float64(last) / 3)
+		var one Accumulator
+		one.Add(float64(last) / 3)
+		b.Merge(one)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorMergeEmptyEdges(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	a.Add(2)
+	before := a
+	a.Merge(Accumulator{}) // empty argument: no-op
+	if a != before {
+		t.Errorf("merge of empty argument changed the receiver: %+v", a)
+	}
+	var empty Accumulator
+	empty.Merge(before) // empty receiver: bitwise copy
+	if empty != before {
+		t.Errorf("merge into empty receiver not a copy: %+v vs %+v", empty, before)
+	}
+	var both Accumulator
+	both.Merge(Accumulator{})
+	if both.N() != 0 {
+		t.Errorf("empty-empty merge produced n=%d", both.N())
+	}
+}
+
+// Merge of random contiguous splits ≡ one-shot accumulation: n/min/max
+// exactly, moments to within tight rounding (Chan's update and Welford's
+// agree only up to float rounding for multi-value shards — the singleton
+// path above is the bit-exact one).
+func TestAccumulatorMergeSplitProperty(t *testing.T) {
+	src := rng.New(0x5eed)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + src.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 100*gauss(src) + 42
+		}
+		var whole Accumulator
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		cut := src.Intn(n + 1)
+		var left, right Accumulator
+		for _, x := range xs[:cut] {
+			left.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			right.Add(x)
+		}
+		left.Merge(right)
+		if left.N() != whole.N() || left.min != whole.min || left.max != whole.max {
+			t.Fatalf("trial %d: n/min/max mismatch after merge: %+v vs %+v", trial, left, whole)
+		}
+		if !relClose(left.mean, whole.mean, 1e-12) || !relClose(left.m2, whole.m2, 1e-12) {
+			t.Fatalf("trial %d: moments diverged: merged mean=%v m2=%v, whole mean=%v m2=%v",
+				trial, left.mean, left.m2, whole.mean, whole.m2)
+		}
+	}
+}
+
+// --- PairedAccumulator ---
+
+func TestNewPairedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPaired(0) accepted")
+		}
+	}()
+	NewPaired(0)
+}
+
+func TestPairedAddLengthPanics(t *testing.T) {
+	p := NewPaired(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with wrong control count accepted")
+		}
+	}()
+	p.Add(1, []float64{1})
+}
+
+func TestPairedMergeMismatchedKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge with mismatched k accepted")
+		}
+	}()
+	NewPaired(2).Merge(NewPaired(3))
+}
+
+// The online paired moments must match the two-pass SummarizeCV
+// computation on the same sample: same estimate decision, same mean,
+// same CI to within rounding.
+func TestPairedEstimateMatchesSummarizeCV(t *testing.T) {
+	src := rng.New(0xcafe)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + src.Intn(30)
+		k := 1 + src.Intn(3)
+		ys := make([]float64, n)
+		cs := make([][]float64, n)
+		p := NewPaired(k)
+		for r := 0; r < n; r++ {
+			c := make([]float64, k)
+			var y float64
+			for j := range c {
+				c[j] = gauss(src)
+				y += c[j]
+			}
+			y += 0.5 * gauss(src)
+			ys[r], cs[r] = y, c
+			p.Add(y, c)
+		}
+		want := SummarizeCV(ys, cs, CVOpts{})
+		got := p.Estimate(CVOpts{})
+		if got.Applied != want.Applied || got.K != want.K {
+			t.Fatalf("trial %d: decision mismatch: online %+v vs two-pass %+v", trial, got, want)
+		}
+		if !relClose(got.Mean, want.Mean, 1e-9) || !relClose(got.CI95, want.CI95, 1e-9) ||
+			!relClose(got.VarReduction, want.VarReduction, 1e-9) {
+			t.Fatalf("trial %d: estimate mismatch: online %+v vs two-pass %+v", trial, got, want)
+		}
+	}
+}
+
+// Singleton merges of paired accumulators reproduce sequential Add bit
+// for bit, the same guarantee Accumulator gives — this is what keeps a
+// parallel campaign's stopping decisions identical to the serial run's.
+func TestPairedSingletonMergeBitIdentical(t *testing.T) {
+	src := rng.New(0xbeef)
+	for trial := 0; trial < 50; trial++ {
+		n := src.Intn(20)
+		k := 1 + src.Intn(3)
+		seq := NewPaired(k)
+		merged := NewPaired(k)
+		for r := 0; r < n; r++ {
+			y := gauss(src)
+			c := make([]float64, k)
+			for j := range c {
+				c[j] = gauss(src)
+			}
+			seq.Add(y, c)
+			one := NewPaired(k)
+			one.Add(y, c)
+			merged.Merge(one)
+		}
+		if seq.y != merged.y {
+			t.Fatalf("trial %d: y accumulators diverged: %+v vs %+v", trial, seq.y, merged.y)
+		}
+		for j := range seq.meanC {
+			if seq.meanC[j] != merged.meanC[j] || seq.syc[j] != merged.syc[j] {
+				t.Fatalf("trial %d: control moments diverged at %d", trial, j)
+			}
+		}
+		for i := range seq.scc {
+			if seq.scc[i] != merged.scc[i] {
+				t.Fatalf("trial %d: scc diverged at %d: %v vs %v", trial, i, seq.scc[i], merged.scc[i])
+			}
+		}
+	}
+}
+
+// Merging multi-value paired shards agrees with one-shot accumulation to
+// within rounding on every moment.
+func TestPairedMergeSplitProperty(t *testing.T) {
+	src := rng.New(0xdead)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + src.Intn(30)
+		k := 1 + src.Intn(3)
+		whole := NewPaired(k)
+		type pair struct {
+			y float64
+			c []float64
+		}
+		sample := make([]pair, n)
+		for r := range sample {
+			c := make([]float64, k)
+			for j := range c {
+				c[j] = 10 * gauss(src)
+			}
+			sample[r] = pair{y: 5 * gauss(src), c: c}
+			whole.Add(sample[r].y, sample[r].c)
+		}
+		cut := src.Intn(n + 1)
+		left, right := NewPaired(k), NewPaired(k)
+		for _, s := range sample[:cut] {
+			left.Add(s.y, s.c)
+		}
+		for _, s := range sample[cut:] {
+			right.Add(s.y, s.c)
+		}
+		left.Merge(right)
+		if left.N() != whole.N() {
+			t.Fatalf("trial %d: n mismatch", trial)
+		}
+		if !relClose(left.y.mean, whole.y.mean, 1e-12) || !relClose(left.y.m2, whole.y.m2, 1e-12) {
+			t.Fatalf("trial %d: y moments diverged", trial)
+		}
+		for j := 0; j < k; j++ {
+			if !relClose(left.meanC[j], whole.meanC[j], 1e-12) || !relClose(left.syc[j], whole.syc[j], 1e-12) {
+				t.Fatalf("trial %d: control %d moments diverged: mean %v vs %v, syc %v vs %v",
+					trial, j, left.meanC[j], whole.meanC[j], left.syc[j], whole.syc[j])
+			}
+			for i := 0; i < k; i++ {
+				if !relClose(left.scc[i*k+j], whole.scc[i*k+j], 1e-12) {
+					t.Fatalf("trial %d: scc[%d,%d] diverged", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// --- estimator behavior ---
+
+// Known-answer check: with a single control and correlation ρ, OLS gives
+// β = ρ·sd(y)/sd(c) and the variance shrinks by ≈ 1/(1−ρ²).
+func TestCVSingleControlKnownAnswer(t *testing.T) {
+	src := rng.New(0xfeed)
+	const n = 2000
+	const rho = 0.9
+	ys := make([]float64, n)
+	cs := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		c := gauss(src)
+		ys[r] = 10 + rho*c + math.Sqrt(1-rho*rho)*gauss(src)
+		cs[r] = []float64{c}
+	}
+	est := SummarizeCV(ys, cs, CVOpts{})
+	if !est.Applied || est.K != 1 {
+		t.Fatalf("estimator declined an obviously strong control: %+v", est)
+	}
+	if math.Abs(est.Beta[0]-rho) > 0.05 {
+		t.Errorf("beta = %v, want ≈ %v", est.Beta[0], rho)
+	}
+	if math.Abs(est.Mean-10) > 0.1 {
+		t.Errorf("mean = %v, want ≈ 10", est.Mean)
+	}
+	wantVR := 1 / (1 - rho*rho) // ≈ 5.26
+	if est.VarReduction < 0.7*wantVR || est.VarReduction > 1.3*wantVR {
+		t.Errorf("var reduction = %v, want ≈ %v", est.VarReduction, wantVR)
+	}
+	if est.CI95 >= est.RawCI95 {
+		t.Errorf("reduced CI %v not below raw CI %v", est.CI95, est.RawCI95)
+	}
+	if math.Abs(est.R2-rho*rho) > 0.05 {
+		t.Errorf("R2 = %v, want ≈ %v", est.R2, rho*rho)
+	}
+}
+
+// A zero-expectation control shifts the point estimate by −β·c̄; on a
+// sample where the control happens to average exactly zero, the CV mean
+// must equal the raw mean while the CI still shrinks.
+func TestCVZeroMeanControlKeepsMean(t *testing.T) {
+	src := rng.New(0x1234)
+	const n = 500
+	ys := make([]float64, n)
+	cs := make([][]float64, n)
+	for r := 0; r < n; r += 2 {
+		c := 1 + math.Abs(gauss(src))
+		noise := 0.1 * gauss(src)
+		ys[r] = 3 + c + noise
+		cs[r] = []float64{c}
+		ys[r+1] = 3 - c + noise
+		cs[r+1] = []float64{-c} // antithetic pair → c̄ = 0 exactly
+	}
+	est := SummarizeCV(ys, cs, CVOpts{})
+	if !est.Applied {
+		t.Fatalf("estimator declined: %+v", est)
+	}
+	rawMean := Mean(ys)
+	if math.Abs(est.Mean-rawMean) > 1e-9 {
+		t.Errorf("CV mean %v moved off the raw mean %v despite c̄ = 0", est.Mean, rawMean)
+	}
+	if est.VarReduction < 2 {
+		t.Errorf("var reduction %v, want substantial", est.VarReduction)
+	}
+}
+
+// A constant (zero-variance) control — e.g. the frame-error channel of
+// an error-free spec — must be dropped from the regression instead of
+// making the normal equations singular.
+func TestCVDegenerateControlExcluded(t *testing.T) {
+	src := rng.New(0x777)
+	const n = 200
+	ys := make([]float64, n)
+	cs := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		c := gauss(src)
+		ys[r] = c + 0.2*gauss(src)
+		cs[r] = []float64{0, c} // control 0 never moves
+	}
+	est := SummarizeCV(ys, cs, CVOpts{})
+	if !est.Applied {
+		t.Fatalf("estimator declined with one live control: %+v", est)
+	}
+	if est.K != 1 || len(est.Beta) != 1 {
+		t.Errorf("K = %d, beta = %v; the dead control should be excluded", est.K, est.Beta)
+	}
+}
+
+// Perfectly collinear controls make S_CC singular; the estimator must
+// fall back to the raw mean rather than emit a garbage β.
+func TestCVCollinearControlsFallBack(t *testing.T) {
+	src := rng.New(0x888)
+	const n = 100
+	ys := make([]float64, n)
+	cs := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		c := gauss(src)
+		ys[r] = c + gauss(src)
+		cs[r] = []float64{c, 2 * c}
+	}
+	est := SummarizeCV(ys, cs, CVOpts{})
+	if est.Applied {
+		t.Errorf("estimator applied a fit on a singular system: %+v", est)
+	}
+	if est.Mean != Mean(ys) {
+		t.Errorf("fallback mean %v is not the raw mean %v", est.Mean, Mean(ys))
+	}
+	if est.VarReduction != 1 {
+		t.Errorf("fallback var reduction = %v, want 1", est.VarReduction)
+	}
+}
+
+// An uncorrelated control must be rejected by the MinCorr gate: fitting
+// noise would only widen the honest interval.
+func TestCVWeakCorrelationGated(t *testing.T) {
+	src := rng.New(0x999)
+	const n = 400
+	ys := make([]float64, n)
+	cs := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		ys[r] = gauss(src)
+		cs[r] = []float64{gauss(src)} // independent of y
+	}
+	est := SummarizeCV(ys, cs, CVOpts{MinCorr: 0.2})
+	if est.Applied {
+		t.Errorf("estimator applied a noise fit (R2=%v): %+v", est.R2, est)
+	}
+	if est.CI95 != est.RawCI95 {
+		t.Errorf("gated estimate changed the CI: %v vs raw %v", est.CI95, est.RawCI95)
+	}
+}
+
+// Below the pilot size the estimator must not fit at all.
+func TestCVPilotGate(t *testing.T) {
+	ys := []float64{1, 2, 3}
+	cs := [][]float64{{1}, {2}, {3}}
+	est := SummarizeCV(ys, cs, CVOpts{PilotReps: 4})
+	if est.Applied {
+		t.Errorf("estimator fit below the pilot size: %+v", est)
+	}
+	// At the pilot size with a perfect control it should engage.
+	ys = append(ys, 4)
+	cs = append(cs, []float64{4})
+	est = SummarizeCV(ys, cs, CVOpts{PilotReps: 4, MaxBeta: 8})
+	if !est.Applied {
+		t.Errorf("estimator declined at the pilot size with a perfect control: %+v", est)
+	}
+}
+
+// The clamp bounds each |βⱼ| by MaxBeta·sd(y)/sd(cⱼ).
+func TestCVBetaClamp(t *testing.T) {
+	src := rng.New(0xaaa)
+	const n = 50
+	ys := make([]float64, n)
+	cs := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		c := gauss(src)
+		ys[r] = 100*c + gauss(src)
+		cs[r] = []float64{c}
+	}
+	est := SummarizeCV(ys, cs, CVOpts{MaxBeta: 0.5})
+	if !est.Applied {
+		t.Fatalf("estimator declined: %+v", est)
+	}
+	// sd(y)/sd(c) ≈ 100, so the clamp sits near 50 — far below the
+	// OLS β ≈ 100.
+	if est.Beta[0] > 0.5*100*1.2 {
+		t.Errorf("beta %v escaped the clamp", est.Beta[0])
+	}
+}
+
+func TestCVEstimateNotAppliedMirrorsRaw(t *testing.T) {
+	ys := []float64{1, 2, 3, 4, 5}
+	cs := [][]float64{{0}, {0}, {0}, {0}, {0}}
+	est := SummarizeCV(ys, cs, CVOpts{})
+	want := Summarize(ys)
+	if est.Applied || est.K != 0 || est.Beta != nil {
+		t.Errorf("degenerate-only controls applied: %+v", est)
+	}
+	if est.Mean != want.Mean || est.StdDev != want.StdDev || est.CI95 != want.CI95 || est.RawCI95 != want.CI95 {
+		t.Errorf("unapplied estimate does not mirror the raw summary: %+v vs %+v", est, want)
+	}
+}
+
+func TestSummarizeCVPanics(t *testing.T) {
+	for name, call := range map[string]func(){
+		"empty":       func() { SummarizeCV(nil, nil, CVOpts{}) },
+		"row-count":   func() { SummarizeCV([]float64{1}, nil, CVOpts{}) },
+		"no-controls": func() { SummarizeCV([]float64{1}, [][]float64{{}}, CVOpts{}) },
+		"ragged":      func() { SummarizeCV([]float64{1, 2}, [][]float64{{1}, {1, 2}}, CVOpts{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s sample accepted", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+// The wire form must be stable: unapplied estimates omit beta, and the
+// field set is what the serving API documents.
+func TestCVEstimateJSON(t *testing.T) {
+	est := SummarizeCV([]float64{1, 2, 3}, [][]float64{{0}, {0}, {0}}, CVOpts{})
+	b, err := json.Marshal(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"applied", "k", "mean", "stddev", "ci95", "raw_ci95", "r2", "var_reduction"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("marshalled estimate missing %q: %s", key, b)
+		}
+	}
+	if _, ok := m["beta"]; ok {
+		t.Errorf("unapplied estimate carries beta: %s", b)
+	}
+}

@@ -1,0 +1,137 @@
+// Package statcheck turns statistical correctness claims — "this
+// estimator is unbiased", "this 95% interval really covers ≥93% of the
+// time" — into reusable, deterministic test assertions. Estimator bugs
+// rarely fail an example-based test: a subtly wrong interval still
+// contains the truth on most seeds. What distinguishes a correct
+// estimator from a subtly wrong one is the *rate* at which it covers
+// over many independent trials, so the assertions here run seeded trial
+// loops and test the observed rate against an exact binomial tail (the
+// big.Int.Binomial idiom, so no approximation error hides a regression
+// at the a few-hundred-trial scale CI budgets allow).
+package statcheck
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"testing"
+)
+
+// golden is the SplitMix64 increment; Seed derives per-trial seeds with
+// it so trial i's randomness is a pure function of (base, i) — the same
+// scheme the scenario layer uses for per-replication seeds.
+const golden = 0x9e3779b97f4a7c15
+
+// Seed returns the deterministic seed for trial i of a loop keyed by
+// base. Adjacent trials get decorrelated seeds; the mapping is stable
+// across runs and platforms, which is what lets a coverage bound be
+// pinned in CI.
+func Seed(base uint64, i int) uint64 {
+	z := base + golden*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// BinomialProb returns P(X = k) for X ~ Binomial(n, p), computed with
+// an exact big-integer binomial coefficient so it stays accurate where
+// the naive factorial form overflows (fine through a few thousand
+// trials; beyond that the float64 power terms underflow first).
+func BinomialProb(k, n int64, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	f := new(big.Float).SetInt(new(big.Int).Binomial(n, k))
+	f.Mul(f, big.NewFloat(math.Pow(p, float64(k))))
+	f.Mul(f, big.NewFloat(math.Pow(1-p, float64(n-k))))
+	out, _ := f.Float64()
+	return out
+}
+
+// BinomialLowerTail returns P(X ≤ k) for X ~ Binomial(n, p): the exact
+// probability of seeing k or fewer successes in n trials. A coverage
+// regression test uses it as a p-value — "if the interval really
+// covered at rate p, how unlikely is a count this low?"
+func BinomialLowerTail(k, n int64, p float64) float64 {
+	var sum float64
+	for i := int64(0); i <= k; i++ {
+		sum += BinomialProb(i, n, p)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// Coverage tallies a trial loop: how many trials ran, and in how many
+// the interval under test covered the truth.
+type Coverage struct {
+	Trials  int
+	Covered int
+}
+
+// Observe records one trial.
+func (c *Coverage) Observe(covered bool) {
+	c.Trials++
+	if covered {
+		c.Covered++
+	}
+}
+
+// Rate returns the empirical coverage fraction (0 for an empty tally).
+func (c Coverage) Rate() float64 {
+	if c.Trials == 0 {
+		return 0
+	}
+	return float64(c.Covered) / float64(c.Trials)
+}
+
+func (c Coverage) String() string {
+	return fmt.Sprintf("%d/%d (%.1f%%)", c.Covered, c.Trials, 100*c.Rate())
+}
+
+// Run executes a deterministic trial loop: trial i receives
+// Seed(base, i) and reports whether its interval covered the truth.
+func Run(trials int, base uint64, trial func(i int, seed uint64) bool) Coverage {
+	var c Coverage
+	for i := 0; i < trials; i++ {
+		c.Observe(trial(i, Seed(base, i)))
+	}
+	return c
+}
+
+// AssertAtLeast fails the test when the empirical coverage falls below
+// bound. The failure message includes the exact binomial p-value of the
+// observed count under a true coverage of nominal (e.g. 0.95), so a
+// flagged regression shows how incompatible the tally is with a correct
+// interval — a near-miss on an unlucky seed reads very differently from
+// a collapsed estimator.
+func (c Coverage) AssertAtLeast(t testing.TB, bound, nominal float64) {
+	t.Helper()
+	if c.Trials == 0 {
+		t.Fatal("statcheck: coverage assertion over zero trials")
+	}
+	if c.Rate() < bound {
+		pval := BinomialLowerTail(int64(c.Covered), int64(c.Trials), nominal)
+		t.Errorf("coverage %s below the %.0f%% bound (P[X ≤ %d | n=%d, p=%.2f] = %.2g)",
+			c, 100*bound, c.Covered, c.Trials, nominal, pval)
+	}
+}
+
+// AssertUnbiased fails when the sample mean of an estimator sits more
+// than zmax standard errors from the truth — a seeded z-test for bias.
+// With zmax = 4 a correct estimator fails with probability ~6e-5 per
+// check, while an estimator biased by even one standard error gets
+// caught as soon as the trial count pushes the standard error below a
+// quarter of the bias.
+func AssertUnbiased(t testing.TB, name string, mean, stderr, truth, zmax float64) {
+	t.Helper()
+	if !(stderr > 0) {
+		t.Fatalf("statcheck: %s: nonpositive standard error %v", name, stderr)
+	}
+	z := (mean - truth) / stderr
+	if math.Abs(z) > zmax {
+		t.Errorf("%s biased: mean %v vs truth %v is %.1f standard errors (limit %.1f)",
+			name, mean, truth, z, zmax)
+	}
+}

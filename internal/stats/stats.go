@@ -131,9 +131,21 @@ func (a *Accumulator) Add(x float64) {
 }
 
 // Merge folds another accumulator's sample into this one, as if every
-// value it saw had been Added here.
+// value it saw had been Added here. The n ∈ {0, 1} edges are exact, not
+// just within rounding: an empty side is a bitwise copy (or no-op), and
+// a one-value argument delegates to Add — so merging singletons in
+// order reproduces sequential accumulation bit for bit, the property
+// the shard-equivalence tests pin. (Chan et al.'s update for the
+// general case agrees with sequential Adds only to within float
+// rounding; a singleton's d²·na·nb/n term rounds differently than Add's
+// d·(x−mean′), which is why the delegation is not an optimization but a
+// correctness fix for bit-exact replay.)
 func (a *Accumulator) Merge(b Accumulator) {
 	if b.n == 0 {
+		return
+	}
+	if b.n == 1 {
+		a.Add(b.mean)
 		return
 	}
 	if a.n == 0 {
