@@ -353,6 +353,34 @@ func BenchmarkModelPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkModelPredictLoaded measures the widened analytic regime:
+// the loaded (unsaturated) fixed point with mixed CA1/CA3 priority
+// classes — the joint damped iteration over attempt availability plus
+// the strict-priority class ladder, the unit of work behind
+// /v1/predict on a Poisson-load spec.
+func BenchmarkModelPredictLoaded(b *testing.B) {
+	s := scenario.Spec{
+		Name:          "predict-bench-loaded",
+		Engine:        scenario.EngineModel,
+		SimTimeMicros: 5e8,
+		Stations: []scenario.Group{
+			{Count: 5, Priority: "CA1", Traffic: &scenario.Traffic{Kind: "poisson", MeanInterarrivalMicros: 1e5}},
+			{Count: 2, Priority: "CA3", Traffic: &scenario.Traffic{Kind: "poisson", MeanInterarrivalMicros: 2e5}},
+		},
+	}
+	c, err := scenario.Compile(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.RunOnce(c.Points[0], 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimPointReplication measures one simulated replication of
 // the same spec BenchmarkModelPredict answers analytically.
 func BenchmarkSimPointReplication(b *testing.B) {

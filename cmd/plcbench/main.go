@@ -18,6 +18,12 @@
 //
 //	plcbench -campaign examples/campaigns/saturation-error-grid.json -format json
 //
+// -compare runs every campaign grid point through both the analytic
+// model and a simulator and renders the campaign-wide per-metric
+// divergence table — the model-accuracy envelope as one table:
+//
+//	plcbench -campaign examples/campaigns/model-envelope-load.json -compare
+//
 // -parallel distributes each experiment's independent sweep points
 // (station counts, loads, candidate configurations, …) across
 // GOMAXPROCS goroutines. Every point owns its random streams and
@@ -159,6 +165,7 @@ func main() {
 		parallel = flag.Bool("parallel", false, "fan independent sweep points across GOMAXPROCS goroutines (bit-identical output)")
 		scenF    = flag.String("scenario", "", "render a declarative scenario's replication statistics instead of a canned experiment")
 		campF    = flag.String("campaign", "", "render a declarative campaign's grid results instead of a canned experiment")
+		compare  = flag.Bool("compare", false, "run every -campaign grid point through both the analytic model and a simulator and render the divergence table")
 		reps     = flag.Int("reps", 10, "independent-seed replications per scenario point (with -scenario)")
 	)
 	flag.Parse()
@@ -189,7 +196,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "plcbench: -reps does not apply to -campaign (set \"reps\" or min_reps/max_reps in the campaign file)")
 			os.Exit(2)
 		}
-		t, err := campaignTable(*campF, *parallel)
+		table := campaignTable
+		if *compare {
+			table = campaignCompareTable
+		}
+		t, err := table(*campF, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "plcbench:", err)
 			os.Exit(1)
@@ -199,6 +210,10 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if *compare {
+		fmt.Fprintln(os.Stderr, "plcbench: -compare requires -campaign")
+		os.Exit(2)
 	}
 
 	if *scenF != "" {
@@ -356,6 +371,50 @@ func campaignTable(path string, parallel bool) (*experiments.Table, error) {
 			}
 		}
 		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// campaignCompareTable runs a declarative campaign through compare
+// mode — every grid point through both the analytic model and a
+// simulator — and renders the campaign-wide per-metric divergence
+// table: mean/max relative error, mean/max absolute error, and the
+// worst grid point by name.
+func campaignCompareTable(path string, parallel bool) (*experiments.Table, error) {
+	spec, err := campaign.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := campaign.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report, err := campaign.CompareRun(c, campaign.Opts{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	s := report.Spec
+	t := &experiments.Table{
+		ID:     "campaign-compare-" + s.Name,
+		Title:  fmt.Sprintf("Campaign %s: analytic model vs simulation over %d points, %d sim reps", s.Name, len(report.Points), report.Reps),
+		Note:   s.Description,
+		Header: []string{"metric", "mean rel", "max rel", "mean abs", "max abs", "worst point"},
+	}
+	for _, d := range report.Divergence() {
+		worst := d.WorstRel
+		if worst == "" {
+			worst = d.WorstAbs
+		}
+		t.AddRow(d.Name,
+			fmt.Sprintf("%.2f%%", 100*d.MeanRel),
+			fmt.Sprintf("%.2f%%", 100*d.MaxRel),
+			fmt.Sprintf("%.6f", d.MeanAbs),
+			fmt.Sprintf("%.6f", d.MaxAbs),
+			worst)
 	}
 	return t, nil
 }

@@ -59,6 +59,16 @@
 // targets — and prints one consolidated table, one row per grid point
 // with its converged replication count. -validate parses, expands and
 // compiles the campaign without running it.
+//
+// -compare combines with -campaign to run every grid point through
+// both the analytic model and a simulator:
+//
+//	sim1901 -campaign examples/campaigns/model-envelope-load.json -compare -parallel
+//
+// prints a campaign-wide per-metric divergence table (mean/max
+// relative and absolute error, worst grid point named) followed by
+// each point's model/sim/delta lines — the accuracy-envelope study in
+// CLI form.
 package main
 
 import (
@@ -77,8 +87,10 @@ import (
 )
 
 // runCampaign is the grid mode: load, expand, run every point, print
-// the consolidated table.
-func runCampaign(path string, parallel, validateOnly bool) {
+// the consolidated table. compare runs every grid point through both
+// the analytic model and a simulator and prints the campaign-wide
+// divergence study instead.
+func runCampaign(path string, parallel, validateOnly, compare bool) {
 	spec, err := campaign.Load(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sim1901:", err)
@@ -96,6 +108,18 @@ func runCampaign(path string, parallel, validateOnly bool) {
 	workers := 1
 	if parallel {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if compare {
+		rep, err := campaign.CompareRun(c, campaign.Opts{Workers: workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sim1901:", err)
+			os.Exit(2)
+		}
+		if err := rep.Write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sim1901:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	report, err := campaign.Run(c, campaign.Opts{Workers: workers})
 	if err != nil {
@@ -204,7 +228,7 @@ func main() {
 		reps        = flag.Int("reps", 10, "independent-seed replications per scenario point (with -scenario)")
 		validate    = flag.Bool("validate", false, "parse and compile -scenario/-campaign, report, and exit without running")
 		engine      = flag.String("engine", "", "override the scenario's engine: sim, mac, model or auto (with -scenario)")
-		compare     = flag.Bool("compare", false, "run -scenario through both the analytic model and the simulator and print per-metric divergence")
+		compare     = flag.Bool("compare", false, "run -scenario (or every -campaign grid point) through both the analytic model and the simulator and print per-metric divergence")
 		vrFlag      = flag.String("vr", "", "variance reduction for -scenario: control_variate (or cv) enables the paired-control estimator, none strips the spec's block")
 	)
 	flag.Parse()
@@ -216,17 +240,18 @@ func main() {
 	if *campaignF != "" {
 		// A campaign file owns its engine and replication policy; a
 		// flag that silently did nothing would be worse than an error.
+		// -compare is the exception: it is a run mode, not a spec knob.
 		repsSet := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "reps" {
 				repsSet = true
 			}
 		})
-		if *engine != "" || *compare || repsSet || *vrFlag != "" {
-			fmt.Fprintln(os.Stderr, "sim1901: -engine, -compare, -reps and -vr do not apply to -campaign (set the engine, replication policy and variance reduction in the campaign file)")
+		if *engine != "" || repsSet || *vrFlag != "" {
+			fmt.Fprintln(os.Stderr, "sim1901: -engine, -reps and -vr do not apply to -campaign (set the engine, replication policy and variance reduction in the campaign file)")
 			os.Exit(2)
 		}
-		runCampaign(*campaignF, *parallel, *validate)
+		runCampaign(*campaignF, *parallel, *validate, *compare)
 		return
 	}
 	if *scenarioF != "" {
@@ -240,7 +265,7 @@ func main() {
 		return
 	}
 	if *validate || *engine != "" || *compare || *vrFlag != "" {
-		fmt.Fprintln(os.Stderr, "sim1901: -validate, -engine, -compare and -vr require -scenario")
+		fmt.Fprintln(os.Stderr, "sim1901: -validate, -engine, -compare and -vr require -scenario (or -campaign)")
 		os.Exit(2)
 	}
 

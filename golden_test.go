@@ -43,6 +43,9 @@ func TestGoldenCLIOutput(t *testing.T) {
 	const spec = "testdata/scenarios/tiny-sweep.json"
 	const camp = "testdata/campaigns/tiny-grid.json"
 	const cvCamp = "testdata/campaigns/tiny-cv-grid.json"
+	const loadCamp = "testdata/campaigns/tiny-load-grid.json"
+	const modelPoisson = "examples/scenarios/model-poisson-load.json"
+	const modelPriority = "examples/scenarios/model-priority-mix.json"
 
 	cases := []struct {
 		golden string
@@ -68,6 +71,19 @@ func TestGoldenCLIOutput(t *testing.T) {
 		{"sim1901-campaign-cv.txt", []string{sim1901, "-campaign", cvCamp}},
 		{"sim1901-campaign-cv.txt", []string{sim1901, "-campaign", cvCamp, "-parallel"}},
 		{"plcbench-campaign-cv.md", []string{plcbench, "-campaign", cvCamp, "-format", "md"}},
+		// Model engine over the widened regimes: Poisson offered load
+		// and mixed priority classes answer analytically, with the
+		// per-class metric split. Deterministic, so -engine model output
+		// is a natural golden.
+		{"sim1901-model-poisson.txt", []string{sim1901, "-scenario", modelPoisson, "-engine", "model"}},
+		{"sim1901-model-priority.txt", []string{sim1901, "-scenario", modelPriority, "-engine", "model"}},
+		// Campaign compare mode: the per-metric divergence table plus
+		// per-point breakdown, serial ≡ -parallel; tiny-grid compares
+		// against the sim engine, tiny-load-grid against the mac
+		// fallback.
+		{"sim1901-campaign-compare.txt", []string{sim1901, "-campaign", camp, "-compare"}},
+		{"sim1901-campaign-compare.txt", []string{sim1901, "-campaign", camp, "-compare", "-parallel"}},
+		{"plcbench-campaign-compare.md", []string{plcbench, "-campaign", loadCamp, "-compare", "-format", "md"}},
 	}
 	for _, tc := range cases {
 		name := fmt.Sprintf("%s_%s", filepath.Base(tc.cmd[0]), filepath.Base(tc.golden))

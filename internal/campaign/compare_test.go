@@ -1,0 +1,214 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// compareSpec is a tiny two-axis campaign whose base every engine can
+// express (saturated, single class).
+func compareSpec() Spec {
+	return Spec{
+		Name: "cmp",
+		Base: baseSpec(),
+		Axes: []Axis{
+			{Path: "n", Values: rawValsNoT(2, 3)},
+		},
+		Reps: 2,
+	}
+}
+
+// rawValsNoT is rawVals without the testing.T plumbing.
+func rawValsNoT(vs ...any) []json.RawMessage {
+	out := make([]json.RawMessage, len(vs))
+	for i, v := range vs {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// TestCompareRunShape: one comparison per grid point, in row-major
+// order, each pairing the model against the simulation at the
+// campaign's fixed rep count.
+func TestCompareRunShape(t *testing.T) {
+	c, err := Compile(compareSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CompareRun(c, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reps != 2 || len(rep.Points) != 2 {
+		t.Fatalf("compare shape: reps=%d points=%d", rep.Reps, len(rep.Points))
+	}
+	for i, pc := range rep.Points {
+		if pc.Index != i {
+			t.Errorf("point %d carries index %d", i, pc.Index)
+		}
+		if pc.Coord == "" {
+			t.Errorf("point %d has no coordinate label", i)
+		}
+		if pc.Report == nil || len(pc.Report.Points) == 0 {
+			t.Fatalf("point %d has no comparison", i)
+		}
+	}
+	div := rep.Divergence()
+	if len(div) == 0 {
+		t.Fatal("no divergence rows")
+	}
+	seen := map[string]bool{}
+	for _, d := range div {
+		seen[d.Name] = true
+		if d.Points != 2 {
+			t.Errorf("%s aggregated %d comparisons, want 2", d.Name, d.Points)
+		}
+		if d.MaxAbs < d.MeanAbs {
+			t.Errorf("%s: max abs %v < mean abs %v", d.Name, d.MaxAbs, d.MeanAbs)
+		}
+		if d.MaxRel < d.MeanRel {
+			t.Errorf("%s: max rel %v < mean rel %v", d.Name, d.MaxRel, d.MeanRel)
+		}
+		if d.MaxAbs > 0 && d.WorstAbs == "" {
+			t.Errorf("%s: nonzero max abs without a worst point", d.Name)
+		}
+	}
+	for _, want := range []string{"collision_pr", "norm_throughput"} {
+		if !seen[want] {
+			t.Errorf("divergence table missing %s", want)
+		}
+	}
+	if d := rep.MaxDivergence("norm_throughput"); d == nil {
+		t.Error("MaxDivergence lost norm_throughput")
+	}
+	if d := rep.MaxDivergence("no-such-metric"); d != nil {
+		t.Errorf("MaxDivergence invented %v", d)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# compare campaign cmp", "worst point", "collision_pr", "## point 0", "## point 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompareRunSerialParallelIdentical: comparisons fan across
+// workers without perturbing a single byte.
+func TestCompareRunSerialParallelIdentical(t *testing.T) {
+	c, err := Compile(compareSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := CompareRun(c, Opts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := CompareRun(c, Opts{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := serial.Write(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Write(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("compare campaign differs across worker counts")
+	}
+	j1, _ := json.Marshal(serial)
+	j2, _ := json.Marshal(parallel)
+	if !bytes.Equal(j1, j2) {
+		t.Error("compare campaign JSON differs across worker counts")
+	}
+}
+
+// TestCompareRunRejectsMacOnlyBase: a base the model cannot express
+// fails with the offending point named.
+func TestCompareRunRejectsMacOnlyBase(t *testing.T) {
+	s := compareSpec()
+	s.Base.BeaconPeriodMicros = 33330
+	c, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareRun(c, Opts{}); err == nil {
+		t.Error("CompareRun accepted a beacon-bearing base")
+	}
+}
+
+// loadCampaignCompare runs a shipped example campaign through compare
+// mode with test-friendly reps.
+func loadCampaignCompare(t *testing.T, path string) *CompareReport {
+	t.Helper()
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CompareRun(c, Opts{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// checkCampaignEnvelope asserts a compare campaign's divergence stays
+// inside the repository model-accuracy envelope: throughput within 5%
+// relative and collision probability within 0.04 absolute at every
+// grid point.
+func checkCampaignEnvelope(t *testing.T, rep *CompareReport) {
+	t.Helper()
+	thr := rep.MaxDivergence("norm_throughput")
+	if thr == nil {
+		t.Fatal("campaign compare lost norm_throughput")
+	}
+	if d := thr.Sane(); d.MaxRel > 0.05 {
+		t.Errorf("throughput diverges %.2f%% at %s — outside the 5%% envelope", 100*d.MaxRel, d.WorstRel)
+	}
+	coll := rep.MaxDivergence("collision_pr")
+	if coll == nil {
+		t.Fatal("campaign compare lost collision_pr")
+	}
+	if d := coll.Sane(); d.MaxAbs > 0.04 {
+		t.Errorf("collision probability diverges |Δ| %.4f at %s — outside the 0.04 envelope", d.MaxAbs, d.WorstAbs)
+	}
+}
+
+// TestModelEnvelopeLoadCampaign is the accuracy-envelope acceptance
+// suite over the shipped unsaturated-load grid: every Poisson-load ×
+// station-count point must keep the analytic model inside the
+// repository envelope against the event-driven MAC.
+func TestModelEnvelopeLoadCampaign(t *testing.T) {
+	rep := loadCampaignCompare(t, "../../examples/campaigns/model-envelope-load.json")
+	if len(rep.Points) != 9 {
+		t.Fatalf("%d grid points, want 9 (3 counts × 3 loads)", len(rep.Points))
+	}
+	checkCampaignEnvelope(t, rep)
+}
+
+// TestModelEnvelopePriorityCampaign is the acceptance suite over the
+// shipped mixed-priority grid: saturated CA1 under a loaded CA3 must
+// stay inside the envelope at every point.
+func TestModelEnvelopePriorityCampaign(t *testing.T) {
+	rep := loadCampaignCompare(t, "../../examples/campaigns/model-envelope-priority.json")
+	if len(rep.Points) != 4 {
+		t.Fatalf("%d grid points, want 4 (2 counts × 2 loads)", len(rep.Points))
+	}
+	checkCampaignEnvelope(t, rep)
+}

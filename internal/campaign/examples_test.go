@@ -1,0 +1,116 @@
+package campaign
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestExampleScenariosAllValid walks every shipped example scenario:
+// each must validate, compile on its (resolved) engine, and — when the
+// analytic model can express it — evaluate through the model to
+// finite, NaN-free metrics. A broken or stale example fails here, not
+// in a user's terminal.
+func TestExampleScenariosAllValid(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example scenarios found")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			spec, err := scenario.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := spec.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			c, err := scenario.Compile(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("engine %s, %d points", c.Spec.Engine, len(c.Points))
+
+			// Model eligibility: strip the pinned engine and ask the
+			// validator. Every model-expressible example must actually
+			// answer analytically, whatever engine it ships with.
+			ms := spec
+			ms.Engine = scenario.EngineModel
+			if err := ms.Validate(); err != nil {
+				return // genuinely event-driven example (beacons, bursts, framing)
+			}
+			mc, err := scenario.Compile(ms)
+			if err != nil {
+				t.Fatalf("model-eligible example failed model compile: %v", err)
+			}
+			for _, p := range mc.Points {
+				metrics, err := scenario.RunOnce(p, 1)
+				if err != nil {
+					t.Fatalf("model RunOnce: %v", err)
+				}
+				for _, m := range metrics {
+					if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+						t.Errorf("model metric %s = %v", m.Name, m.Value)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExampleCampaignsAllValid walks every shipped example campaign:
+// each must load, validate and expand its full grid, and every grid
+// point must land on a declared engine. Model-engine points must
+// additionally evaluate to finite, NaN-free metrics.
+func TestExampleCampaignsAllValid(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/campaigns/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example campaigns found")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			spec, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Compile(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(c.Points) == 0 {
+				t.Fatal("campaign expanded to zero points")
+			}
+			t.Log(c.Describe())
+			for _, p := range c.Points {
+				switch p.Spec.Engine {
+				case scenario.EngineSim, scenario.EngineMac:
+					// Simulated points are exercised by the campaign and
+					// envelope suites; expanding and compiling is the
+					// walk's contract.
+				case scenario.EngineModel:
+					metrics, err := scenario.RunOnce(p.Compiled.Points[0], 1)
+					if err != nil {
+						t.Fatalf("point %s: model RunOnce: %v", p.describeCoord(), err)
+					}
+					for _, m := range metrics {
+						if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+							t.Errorf("point %s: model metric %s = %v", p.describeCoord(), m.Name, m.Value)
+						}
+					}
+				default:
+					t.Errorf("point %s resolved to unknown engine %q", p.describeCoord(), p.Spec.Engine)
+				}
+			}
+		})
+	}
+}

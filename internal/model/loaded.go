@@ -1,0 +1,313 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/config"
+)
+
+// LoadedGroup is one station group under the extended fixed point: the
+// heterogeneous decoupling model widened with an offered load (Poisson
+// arrivals or silence instead of saturation) and a channel-access
+// priority class.
+type LoadedGroup struct {
+	Group
+	// Priority is the group's 1901 channel-access class. Stations never
+	// contend across classes: the priority-resolution phase elects the
+	// highest class with pending traffic and only its members run the
+	// backoff process.
+	Priority config.Priority
+	// Saturated marks an always-backlogged group (availability 1).
+	Saturated bool
+	// ArrivalRate is the per-station Poisson arrival rate λ in frames
+	// per µs for an unsaturated group. Zero with Saturated false means
+	// the group is silent (availability 0); delivered frames are
+	// retried until successful, so a stable station's delivery rate is
+	// exactly λ.
+	ArrivalRate float64
+}
+
+// saturatedOnly reports whether the group is the classic saturated
+// regime the plain heterogeneous solver covers.
+func (g LoadedGroup) saturatedOnly() bool { return g.Saturated }
+
+// silent reports whether the group never offers traffic.
+func (g LoadedGroup) silent() bool { return !g.Saturated && g.ArrivalRate == 0 }
+
+// ClassSolution is the fixed point of one priority class, solved over
+// the fraction of wall-clock time the class can access the medium.
+type ClassSolution struct {
+	// Priority is the class this solution describes.
+	Priority config.Priority
+	// Share is F_c: the fraction of wall-clock time no strictly higher
+	// class has pending traffic, i.e. the fraction the priority
+	// resolution phase awards to this class. The highest present class
+	// has Share 1; a class below a saturated one has Share 0.
+	Share float64
+	// Starved is true when Share is 0 and the class offers traffic it
+	// can never send: its stations stay backlogged forever and every
+	// rate below is exactly zero.
+	Starved bool
+	// GroupIndex maps the per-group slices below back to positions in
+	// the SolveLoaded input.
+	GroupIndex []int
+	// Tau is the per-slot attempt probability of a backlogged station,
+	// per group; Availability the probability the station is backlogged
+	// at a slot boundary (1 for saturated, 0 for silent groups); Gamma
+	// the conditional collision probability against the effective
+	// attempt rates Availability·Tau.
+	Tau, Availability, Gamma []float64
+	// Met holds the class's per-virtual-slot rates and timing, measured
+	// in the class's own medium time (multiply rates/E[σ] by Share to
+	// get wall-clock rates). Zero-valued when Starved.
+	Met HeteroMetrics
+	// Iterations used by the class solver.
+	Iterations int
+}
+
+// LoadedSolution is the joint fixed point over every priority class.
+type LoadedSolution struct {
+	// Classes holds one solution per present class, highest priority
+	// first (the order they were solved in).
+	Classes []ClassSolution
+}
+
+// ClassFor returns the solution for a class, or nil when the input had
+// no group of that class.
+func (s *LoadedSolution) ClassFor(p config.Priority) *ClassSolution {
+	for i := range s.Classes {
+		if s.Classes[i].Priority == p {
+			return &s.Classes[i]
+		}
+	}
+	return nil
+}
+
+// SolveLoaded extends the heterogeneous decoupling fixed point with an
+// offered-load (unsaturated) regime and strict 1901 priority classes.
+//
+// Within one class, each group carries an attempt-availability
+// probability a: the chance a station has a frame pending at a slot
+// boundary. The effective per-slot attempt probability is a·τ, which
+// replaces τ in the busy probability and the slot-state composition,
+// and a itself is pinned by flow conservation — a backlogged station
+// delivers τ(1−γ)(1−e) frames per virtual slot of mean duration E[σ],
+// so a = min(1, λ·E[σ]/(τ(1−γ)(1−e))) — giving a joint damped fixed
+// point in (τ, a). Saturated groups hold a = 1 (reducing exactly to
+// SolveHeterogeneous, to which an all-saturated class delegates) and
+// silent groups a = 0.
+//
+// Across classes, the priority-resolution phase is strict: a lower
+// class transmits only while no higher-class station is backlogged.
+// Under the decoupling assumption that fraction is
+// F_c = Π over higher-class groups (1−a)^N, so each class solves its
+// own fixed point over its share of the timeline with arrival rates
+// scaled by 1/F_c; a saturated (or overloaded) higher class starves
+// everything below it to exactly zero, matching the event-driven MAC's
+// frozen-backoff semantics.
+func SolveLoaded(groups []LoadedGroup, tm Timing, opts Options) (*LoadedSolution, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("model: no groups")
+	}
+	for i, g := range groups {
+		if g.N < 1 {
+			return nil, fmt.Errorf("model: group %d has N=%d", i, g.N)
+		}
+		if err := g.Params.Validate(); err != nil {
+			return nil, fmt.Errorf("model: group %d: %w", i, err)
+		}
+		if g.ErrorProb < 0 || g.ErrorProb > 1 || math.IsNaN(g.ErrorProb) {
+			return nil, fmt.Errorf("model: group %d: error probability %v outside [0, 1]", i, g.ErrorProb)
+		}
+		if !g.Priority.Valid() {
+			return nil, fmt.Errorf("model: group %d: invalid priority %v", i, g.Priority)
+		}
+		if g.ArrivalRate < 0 || math.IsNaN(g.ArrivalRate) || math.IsInf(g.ArrivalRate, 0) {
+			return nil, fmt.Errorf("model: group %d: arrival rate %v must be ≥ 0 and finite", i, g.ArrivalRate)
+		}
+		if g.Saturated && g.ArrivalRate > 0 {
+			return nil, fmt.Errorf("model: group %d: saturated groups carry no arrival rate", i)
+		}
+	}
+
+	// Partition by class, highest priority first: higher classes are
+	// oblivious to lower ones, so they solve first and hand their
+	// occupancies down.
+	byClass := map[config.Priority][]int{}
+	for i, g := range groups {
+		byClass[g.Priority] = append(byClass[g.Priority], i)
+	}
+	classes := make([]config.Priority, 0, len(byClass))
+	for p := range byClass {
+		classes = append(classes, p)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] > classes[j] })
+
+	out := &LoadedSolution{}
+	share := 1.0
+	for _, pri := range classes {
+		idx := byClass[pri]
+		cs, err := solveClass(pri, idx, groups, share, tm, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Classes = append(out.Classes, cs)
+		// This class's occupancy shrinks the share of every class below.
+		for k, gi := range idx {
+			if occ := cs.Availability[k]; occ > 0 {
+				share *= math.Pow(1-occ, float64(groups[gi].N))
+			}
+		}
+	}
+	return out, nil
+}
+
+// solveClass computes one class's fixed point over its wall-clock share.
+func solveClass(pri config.Priority, idx []int, groups []LoadedGroup, share float64, tm Timing, opts Options) (ClassSolution, error) {
+	k := len(idx)
+	cs := ClassSolution{
+		Priority:     pri,
+		Share:        share,
+		GroupIndex:   append([]int(nil), idx...),
+		Tau:          make([]float64, k),
+		Availability: make([]float64, k),
+		Gamma:        make([]float64, k),
+	}
+
+	if share <= 0 {
+		// Starved by a saturated class above: the class never reaches
+		// the medium. Loaded stations stay backlogged forever
+		// (occupancy 1, so everything below starves too); every rate is
+		// exactly zero.
+		cs.Starved = true
+		for i, gi := range idx {
+			if !groups[gi].silent() {
+				cs.Availability[i] = 1
+			}
+		}
+		cs.Met = HeteroMetrics{
+			GroupThroughput:      make([]float64, k),
+			PerStationThroughput: make([]float64, k),
+		}
+		return cs, nil
+	}
+
+	plain := make([]Group, k)
+	allSaturated := true
+	for i, gi := range idx {
+		plain[i] = groups[gi].Group
+		if !groups[gi].saturatedOnly() {
+			allSaturated = false
+		}
+	}
+
+	if allSaturated {
+		// The classic regime: delegate so an all-saturated class is bit
+		// for bit the plain heterogeneous solution.
+		pred, err := SolveHeterogeneous(plain, opts)
+		if err != nil {
+			return ClassSolution{}, fmt.Errorf("model: class %s: %w", pri, err)
+		}
+		copy(cs.Tau, pred.Tau)
+		copy(cs.Gamma, pred.Gamma)
+		for i := range cs.Availability {
+			cs.Availability[i] = 1
+		}
+		cs.Met = HeteroMetricsFor(pred, plain, tm)
+		cs.Iterations = pred.Iterations
+		return cs, nil
+	}
+
+	opts = opts.withDefaults()
+	tau := make([]float64, k)
+	avail := make([]float64, k)
+	for i, gi := range idx {
+		tau[i] = 0.1
+		switch {
+		case groups[gi].saturatedOnly():
+			avail[i] = 1
+		case groups[gi].silent():
+			avail[i] = 0
+		default:
+			avail[i] = 1 // start backlogged and relax downward
+		}
+	}
+
+	eff := make([]float64, k) // a·τ, the effective per-slot attempt rates
+	gam := make([]float64, k)
+	nextTau := make([]float64, k)
+	nextAvail := make([]float64, k)
+	for it := 1; it <= opts.MaxIterations; it++ {
+		for i := range idx {
+			eff[i] = avail[i] * tau[i]
+		}
+		es := 0.0
+		{
+			// Slot-state composition under the effective attempt rates.
+			pIdle := 1.0
+			for i, gi := range idx {
+				pIdle *= math.Pow(1-eff[i], float64(groups[gi].N))
+			}
+			var pSingle float64
+			for i, gi := range idx {
+				gam[i] = gammaOf(eff, plain, i)
+				pSingle += float64(groups[gi].N) * eff[i] * (1 - gam[i])
+			}
+			pColl := 1 - pIdle - pSingle
+			if pColl < 0 {
+				pColl = 0
+			}
+			es = pIdle*tm.Slot + pSingle*tm.Ts + pColl*tm.Tc
+		}
+
+		var maxDelta float64
+		for i, gi := range idx {
+			g := groups[gi]
+			v, _ := tauGivenSucc(g.Params, gam[i], (1-gam[i])*(1-g.ErrorProb))
+			nextTau[i] = tau[i] + opts.Damping*(v-tau[i])
+			if d := math.Abs(nextTau[i] - tau[i]); d > maxDelta {
+				maxDelta = d
+			}
+
+			nextAvail[i] = avail[i]
+			if !g.saturatedOnly() && !g.silent() {
+				// Flow conservation: while backlogged the station
+				// completes τ(1−γ)(1−e) frames per slot of E[σ] µs, so
+				// its queue is busy the fraction λ·E[σ]/service — scaled
+				// by 1/Share because only that fraction of wall-clock
+				// time belongs to this class — clamped at 1 (overload:
+				// the station saturates).
+				serv := tau[i] * (1 - gam[i]) * (1 - g.ErrorProb)
+				target := 1.0
+				if serv > 0 {
+					target = g.ArrivalRate / share * es / serv
+					if target > 1 {
+						target = 1
+					}
+				}
+				nextAvail[i] = avail[i] + opts.Damping*(target-avail[i])
+				if d := math.Abs(nextAvail[i] - avail[i]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		copy(tau, nextTau)
+		copy(avail, nextAvail)
+		if maxDelta < opts.Tolerance {
+			copy(cs.Tau, tau)
+			copy(cs.Availability, avail)
+			for i := range idx {
+				eff[i] = avail[i] * tau[i]
+			}
+			for i := range idx {
+				cs.Gamma[i] = gammaOf(eff, plain, i)
+			}
+			cs.Met = HeteroMetricsFor(HeteroPrediction{Tau: eff, Gamma: cs.Gamma}, plain, tm)
+			cs.Iterations = it
+			return cs, nil
+		}
+	}
+	return ClassSolution{}, fmt.Errorf("model: class %s: %w", pri, ErrNoConvergence)
+}

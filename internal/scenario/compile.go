@@ -42,12 +42,15 @@ type Point struct {
 }
 
 // ModelPlan is the compiled form of a model-engine scenario: the
-// station groups of the heterogeneous decoupling fixed point plus the
-// timing that converts per-slot probabilities into time-based metrics.
-// Evaluation is deterministic — no seed enters anywhere.
+// station groups of the loaded (offered-load, priority-aware)
+// decoupling fixed point plus the timing that converts per-slot
+// probabilities into time-based metrics. Evaluation is deterministic —
+// no seed enters anywhere.
 type ModelPlan struct {
-	// Groups feed model.SolveHeterogeneous, in spec order.
-	Groups []model.Group
+	// Groups feed model.SolveLoaded, in spec order: each carries its
+	// CSMA/CA parameters plus the group's priority class and offered
+	// load (saturated, Poisson rate, or silent).
+	Groups []model.LoadedGroup
 	// SimTimeMicros scales the per-slot rates into the expected event
 	// counts the simulated engines report.
 	SimTimeMicros float64
@@ -127,14 +130,27 @@ func compilePoint(s Spec, groups []Group) (Point, error) {
 			},
 		}
 		for gi, g := range groups {
-			plan.Groups = append(plan.Groups, model.Group{
-				N: g.Count,
-				Params: config.Params{
-					Name: fmt.Sprintf("%s-g%d", s.Name, gi),
-					CW:   g.CW, DC: g.DC,
+			pri, _ := config.ParsePriority(g.Priority) // Validate parsed it already
+			lg := model.LoadedGroup{
+				Group: model.Group{
+					N: g.Count,
+					Params: config.Params{
+						Name: fmt.Sprintf("%s-g%d", s.Name, gi),
+						CW:   g.CW, DC: g.DC,
+					},
+					ErrorProb: g.ErrorProb,
 				},
-				ErrorProb: g.ErrorProb,
-			})
+				Priority: pri,
+			}
+			switch g.Traffic.Kind {
+			case TrafficPoisson:
+				lg.ArrivalRate = 1 / g.Traffic.MeanInterarrivalMicros
+			case TrafficNone:
+				// Silent: zero availability, the group never contends.
+			default:
+				lg.Saturated = true
+			}
+			plan.Groups = append(plan.Groups, lg)
 		}
 		return Point{N: n, ModelPlan: plan}, nil
 	}
@@ -272,9 +288,19 @@ func MetricNames(engine string) []string {
 	case EngineMac:
 		return []string{"collision_pr", "norm_throughput", "successes", "collisions",
 			"frame_errors", "idle_slots", "quiet_fraction", "beacons", "elapsed_us"}
-	case EngineSim, EngineModel:
+	case EngineSim:
 		return []string{"collision_pr", "norm_throughput", "successes", "collided_frames",
 			"frame_errors", "idle_slots", "elapsed_us"}
+	case EngineModel:
+		// The sim engine's canonical metrics plus the per-class split
+		// the priority-aware fixed point resolves. All four classes are
+		// always present (zero when the spec has no such group) so the
+		// list stays static whatever the spec.
+		return []string{"collision_pr", "norm_throughput", "successes", "collided_frames",
+			"frame_errors", "idle_slots",
+			"throughput_ca0", "collision_pr_ca0", "throughput_ca1", "collision_pr_ca1",
+			"throughput_ca2", "collision_pr_ca2", "throughput_ca3", "collision_pr_ca3",
+			"elapsed_us"}
 	default:
 		return nil
 	}
@@ -284,30 +310,14 @@ func MetricNames(engine string) []string {
 // seed and returns its metrics in the engine's canonical order. A
 // model-engine point is answered analytically: the seed is ignored
 // (the fixed point is deterministic) and the count-style metrics carry
-// the model's expected values over SimTimeMicros, under the same
-// canonical names the sim engine reports — so aggregation, rendering,
-// golden files and the serving cache treat all engines alike.
+// the model's expected values over SimTimeMicros, under the sim
+// engine's canonical names plus a per-priority-class split — so
+// aggregation, rendering, golden files and the serving cache treat all
+// engines alike.
 func RunOnce(p Point, seed uint64) ([]Metric, error) {
 	switch {
 	case p.ModelPlan != nil:
-		pl := p.ModelPlan
-		pred, err := model.SolveHeterogeneous(pl.Groups, model.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("scenario: model point: %w", err)
-		}
-		met := model.HeteroMetricsFor(pred, pl.Groups, pl.Timing)
-		// Expected virtual slots over the horizon convert per-slot
-		// rates into the counters the simulators report.
-		slots := pl.SimTimeMicros / met.MeanSlotDuration
-		return []Metric{
-			{"collision_pr", met.CollisionProbability},
-			{"norm_throughput", met.TotalThroughput},
-			{"successes", met.SuccessRate * slots},
-			{"collided_frames", met.CollidedRate * slots},
-			{"frame_errors", met.ErrorRate * slots},
-			{"idle_slots", met.SlotIdle * slots},
-			{"elapsed_us", pl.SimTimeMicros},
-		}, nil
+		return modelMetrics(p.ModelPlan)
 
 	case p.SimInputs != nil:
 		in := *p.SimInputs
@@ -342,6 +352,90 @@ func RunOnce(p Point, seed uint64) ([]Metric, error) {
 	default:
 		return nil, fmt.Errorf("scenario: point compiled to no engine")
 	}
+}
+
+// modelMetrics evaluates a model plan through the loaded fixed point
+// and converts per-slot rates into the counters the simulators report.
+// Expected virtual slots over each class's share of the horizon do the
+// conversion; for a single-class plan the arithmetic reduces to the
+// classic saturated path exactly (Share is 1), so widening the model
+// moved no previously answerable number.
+func modelMetrics(pl *ModelPlan) ([]Metric, error) {
+	sol, err := model.SolveLoaded(pl.Groups, pl.Timing, model.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: model point: %w", err)
+	}
+	var collisionPr, throughput, successes, collided, frameErrs, idle float64
+	if len(sol.Classes) == 1 {
+		c := &sol.Classes[0]
+		if c.Met.MeanSlotDuration > 0 {
+			slots := pl.SimTimeMicros / c.Met.MeanSlotDuration
+			collisionPr = c.Met.CollisionProbability
+			throughput = c.Met.TotalThroughput
+			successes = c.Met.SuccessRate * slots
+			collided = c.Met.CollidedRate * slots
+			frameErrs = c.Met.ErrorRate * slots
+			idle = c.Met.SlotIdle * slots
+		}
+	} else {
+		// Strict priority: each class occupies its share of the
+		// horizon; counters add, and the aggregate collision
+		// probability stays attempt-weighted across classes. Idle time
+		// is what no class spends transmitting — the shares nest
+		// (a lower class's timeline contains the higher classes'
+		// idle), so summing per-class idle slots would double-count;
+		// subtracting busy time from the horizon instead reduces to
+		// slots·pIdle exactly in the single-class case.
+		var attempts, busy float64
+		for i := range sol.Classes {
+			c := &sol.Classes[i]
+			if c.Starved || c.Met.MeanSlotDuration <= 0 {
+				continue
+			}
+			slots := c.Share * pl.SimTimeMicros / c.Met.MeanSlotDuration
+			successes += c.Met.SuccessRate * slots
+			collided += c.Met.CollidedRate * slots
+			frameErrs += c.Met.ErrorRate * slots
+			busy += slots * (c.Met.MeanSlotDuration - c.Met.SlotIdle*pl.Timing.Slot)
+			throughput += c.Share * c.Met.TotalThroughput
+			attempts += c.Met.AttemptRate * slots
+		}
+		if attempts > 0 {
+			collisionPr = collided / attempts
+		}
+		if pl.Timing.Slot > 0 {
+			idle = (pl.SimTimeMicros - busy) / pl.Timing.Slot
+			if idle < 0 {
+				idle = 0
+			}
+		}
+	}
+	var perClass [4]struct{ thr, coll float64 }
+	for i := range sol.Classes {
+		c := &sol.Classes[i]
+		if c.Starved {
+			continue
+		}
+		perClass[c.Priority].thr = c.Share * c.Met.TotalThroughput
+		perClass[c.Priority].coll = c.Met.CollisionProbability
+	}
+	return []Metric{
+		{"collision_pr", collisionPr},
+		{"norm_throughput", throughput},
+		{"successes", successes},
+		{"collided_frames", collided},
+		{"frame_errors", frameErrs},
+		{"idle_slots", idle},
+		{"throughput_ca0", perClass[0].thr},
+		{"collision_pr_ca0", perClass[0].coll},
+		{"throughput_ca1", perClass[1].thr},
+		{"collision_pr_ca1", perClass[1].coll},
+		{"throughput_ca2", perClass[2].thr},
+		{"collision_pr_ca2", perClass[2].coll},
+		{"throughput_ca3", perClass[3].thr},
+		{"collision_pr_ca3", perClass[3].coll},
+		{"elapsed_us", pl.SimTimeMicros},
+	}, nil
 }
 
 // simMetrics converts a sim result into the canonical metric vector.

@@ -35,6 +35,12 @@ func seedFromExamples(f *testing.F) {
 	// fingerprint), plus hostile knob values the validator must reject.
 	f.Add([]byte(`{"name":"x","sim_time_us":1,"stations":[{"count":1}],"variance_reduction":{"kind":"none"}}`))
 	f.Add([]byte(`{"name":"x","sim_time_us":1,"stations":[{"count":1}],"variance_reduction":{"kind":"control_variate","pilot_reps":-1,"min_corr":1e308,"max_beta":-0.5}}`))
+	// The widened model engine: unsaturated (Poisson) load and mixed
+	// CA0–CA3 priorities are now model-expressible and must round-trip
+	// under engine "model"; silence and hostile arrival rates ride along.
+	f.Add([]byte(`{"name":"x","engine":"model","sim_time_us":1e7,"stations":[{"count":3,"traffic":{"kind":"poisson","mean_interarrival_us":50000}}]}`))
+	f.Add([]byte(`{"name":"x","engine":"model","sim_time_us":1e7,"stations":[{"count":2,"priority":"CA1"},{"count":1,"priority":"CA3","traffic":{"kind":"poisson","mean_interarrival_us":100000}},{"count":1,"priority":"CA0","traffic":{"kind":"none"}}]}`))
+	f.Add([]byte(`{"name":"x","engine":"model","sim_time_us":1e7,"stations":[{"count":1,"traffic":{"kind":"poisson","mean_interarrival_us":1e-308}}]}`))
 }
 
 // FuzzSpecDecode asserts the decode→normalize→encode→decode round trip

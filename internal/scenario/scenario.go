@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"repro/internal/config"
 	"repro/internal/hpav"
@@ -44,15 +45,27 @@ const (
 	// EngineMac is the event-driven multi-priority MAC behind the
 	// emulated testbed (bursts, priorities, Poisson traffic, beacons).
 	EngineMac = "mac"
-	// EngineModel answers the scenario analytically through the
+	// EngineModel answers the scenario analytically through the loaded
 	// decoupling-approximation fixed point (internal/model) instead of
-	// simulating: microseconds per point instead of seconds, at the cost
-	// of expressiveness — it covers exactly what EngineSim covers
-	// (saturated stations, a single contention class, one frame per
-	// transmission, heterogeneous CW/DC groups, per-station channel
-	// errors). Model points are deterministic: the seed is ignored and
-	// replications collapse to a single evaluation (n=1, no CI).
+	// simulating: microseconds per point instead of seconds. It covers
+	// saturated, Poisson and silent traffic, mixed CA0–CA3 priority
+	// classes, heterogeneous CW/DC groups and per-station channel
+	// errors; only genuinely event-driven features — beacons,
+	// multi-MPDU bursts, non-default per-group PHY framing — still
+	// require EngineMac. Model points are deterministic: the seed is
+	// ignored and replications collapse to a single evaluation (n=1,
+	// no CI).
 	EngineModel = "model"
+)
+
+// Spec-wide physical defaults Normalized writes out.
+const (
+	// defaultFrameMicros is the frame payload duration in µs when the
+	// spec leaves frame_us unset (the paper's 2050 µs payload).
+	defaultFrameMicros = 2050
+	// defaultPBsPerMPDU is the physical-block count per MPDU the mac
+	// engine assumes when a group leaves pbs_per_mpdu unset.
+	defaultPBsPerMPDU = 4
 )
 
 // Seed policies accepted by Spec.SeedPolicy.
@@ -73,10 +86,12 @@ const (
 	// validation experiment in the paper).
 	TrafficSaturated = "saturated"
 	// TrafficPoisson generates exponentially spaced arrivals with
-	// MeanInterarrivalMicros. Requires the mac engine.
+	// MeanInterarrivalMicros. Simulates on the mac engine; the model
+	// engine answers it through the loaded fixed point.
 	TrafficPoisson = "poisson"
 	// TrafficNone attaches a silent station (it contends for nothing but
-	// occupies an address). Requires the mac engine.
+	// occupies an address). Simulates on the mac engine; the model
+	// engine excludes it from contention.
 	TrafficNone = "none"
 )
 
@@ -317,13 +332,15 @@ func (s Spec) Validate() error {
 		}
 	}
 	if s.Engine == EngineModel {
-		// The analytic model answers exactly the regimes the minimal
-		// simulator covers; everything that forces the event-driven MAC
-		// — Poisson or silent traffic, beacons, bursts, per-group
-		// framing, mixed priorities — is an unsupported feature, and
-		// the error names it so `-validate` reports it.
-		if why := s.needsMac(); why != "" {
-			return fmt.Errorf("scenario %s: engine \"model\" cannot express %s; the analytic model answers saturated single-class scenarios only (use \"mac\")", s.Name, why)
+		// The widened fixed point covers offered load (Poisson and
+		// silent traffic) and mixed CA0–CA3 priorities; only genuinely
+		// event-driven features — beacons, multi-MPDU bursts, per-group
+		// PHY framing — still force the event-driven MAC. The error
+		// names every offending feature so `-validate` reports them all
+		// at once.
+		if why := s.modelUnsupported(); len(why) > 0 {
+			return fmt.Errorf("scenario %s: engine \"model\" cannot express %s (event-driven features need \"mac\")",
+				s.Name, strings.Join(why, "; "))
 		}
 	}
 	if v := s.VarianceReduction; v != nil {
@@ -458,6 +475,37 @@ func (s Spec) needsMac() string {
 	return ""
 }
 
+// modelUnsupported lists every feature of the spec the analytic model
+// engine cannot express, in spec order. It is the model-engine analogue
+// of needsMac, but strictly smaller: Poisson/silent traffic and mixed
+// priority classes now lower onto the loaded fixed point, so only the
+// genuinely event-driven features remain. Empty means the spec is
+// model-expressible.
+func (s Spec) modelUnsupported() []string {
+	var why []string
+	if s.BeaconPeriodMicros > 0 {
+		why = append(why, "beacons")
+	}
+	// Group framing equal to the spec-wide defaults is what mac-engine
+	// normalization writes out explicitly; it changes no physics, so a
+	// normalized mac spec re-aimed at the model (the compare path) must
+	// stay expressible. Only framing that deviates is event-driven.
+	frame := s.FrameMicros
+	if frame == 0 {
+		frame = defaultFrameMicros
+	}
+	for gi, g := range s.Stations {
+		if g.BurstMPDUs > 1 {
+			why = append(why, fmt.Sprintf("stations[%d]'s burst of %d MPDUs (the model rates one frame per transmission)", gi, g.BurstMPDUs))
+		}
+		if (g.PBsPerMPDU != 0 && g.PBsPerMPDU != defaultPBsPerMPDU) ||
+			(g.FrameMicros != 0 && g.FrameMicros != frame) {
+			why = append(why, fmt.Sprintf("stations[%d]'s per-group PHY framing", gi))
+		}
+	}
+	return why
+}
+
 // Normalized returns a copy of the spec with every default made
 // explicit: the engine resolved, seed and policy filled, timing
 // constants expanded, and each group's priority, parameters, traffic
@@ -489,7 +537,7 @@ func (s Spec) Normalized() (Spec, error) {
 		out.TsMicros = 2542.64
 	}
 	if out.FrameMicros == 0 {
-		out.FrameMicros = 2050
+		out.FrameMicros = defaultFrameMicros
 	}
 	if v := s.VarianceReduction; v == nil || v.Kind == "" || v.Kind == VRNone {
 		// A disabled block normalizes away entirely: present-but-off is
@@ -543,7 +591,7 @@ func (s Spec) Normalized() (Spec, error) {
 				ng.BurstMPDUs = 1
 			}
 			if ng.PBsPerMPDU == 0 {
-				ng.PBsPerMPDU = 4
+				ng.PBsPerMPDU = defaultPBsPerMPDU
 			}
 			if ng.FrameMicros == 0 {
 				ng.FrameMicros = out.FrameMicros

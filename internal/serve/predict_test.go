@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/scenario"
 )
 
@@ -177,6 +178,117 @@ func TestModelSpecOnJobQueue(t *testing.T) {
 // specFromJSON decodes a spec literal for Submit-level tests.
 func specFromJSON(s string) (scenario.Spec, error) {
 	return scenario.Parse([]byte(s))
+}
+
+// widenedSpecJSON exercises both regimes the loaded fixed point added:
+// Poisson offered load and mixed CA0–CA3 priority classes.
+const widenedSpecJSON = `{"name":"predict-wide","sim_time_us":1e7,"seed":1,"stations":[
+	{"count":2,"priority":"CA1","traffic":{"kind":"poisson","mean_interarrival_us":50000}},
+	{"count":1,"priority":"CA3","traffic":{"kind":"poisson","mean_interarrival_us":200000}},
+	{"count":1,"priority":"CA0","traffic":{"kind":"none"}}]}`
+
+// TestPredictWidenedRegimes: an unsaturated mixed-priority spec —
+// inexpressible by the model engine before the loaded fixed point —
+// answers through /v1/predict, and the resulting report is
+// byte-identical across the predict path, the job queue, the
+// standalone CLI path (scenario.Replications) and a campaign grid
+// point wrapping the same spec.
+func TestPredictWidenedRegimes(t *testing.T) {
+	s := mustNew(t, Config{})
+	defer s.Close()
+
+	spec, err := specFromJSON(widenedSpecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predJSON, _, cached, err := s.Predict(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first widened predict claimed a cache hit")
+	}
+	var res Result
+	if err := json.Unmarshal(predJSON, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Spec.Engine != scenario.EngineModel || res.Report.Reps != 1 {
+		t.Fatalf("widened predict: engine=%q reps=%d", res.Report.Spec.Engine, res.Report.Reps)
+	}
+	byName := map[string]float64{}
+	for _, m := range res.Report.Points[0].Metrics {
+		byName[m.Name] = m.Summary.Mean
+	}
+	if byName["throughput_ca3"] <= 0 || byName["throughput_ca1"] <= 0 {
+		t.Errorf("per-class split missing: %+v", byName)
+	}
+
+	// Job queue: the same spec pinned to the model engine rides the
+	// ordinary queue and shares the cache entry predict wrote.
+	ms := spec
+	ms.Engine = scenario.EngineModel
+	j, jobCached, _, err := s.Submit(ms, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jobCached {
+		t.Error("job queue missed the cache entry predict wrote")
+	}
+	waitDone(t, j)
+	jobJSON, _, ok := j.Result()
+	if !ok {
+		t.Fatalf("widened job has no result: %+v", j.Status())
+	}
+	if !bytes.Equal(predJSON, jobJSON) {
+		t.Error("job-queue bytes differ from predict bytes for the same widened spec")
+	}
+
+	// Standalone CLI path: Compile + Replications on the same spec.
+	c, err := scenario.Compile(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standalone, err := scenario.Replications(c, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standaloneJSON, err := json.Marshal(standalone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportJSON, err := json.Marshal(res.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reportJSON, standaloneJSON) {
+		t.Errorf("predict report differs from the standalone path:\npredict:    %s\nstandalone: %s",
+			reportJSON, standaloneJSON)
+	}
+
+	// Campaign grid point: a one-point campaign wrapping the spec
+	// produces the same report bytes (point 0 keeps the base seed).
+	camp := campaign.Spec{
+		Name: "wide-wrap",
+		Base: ms,
+		Axes: []campaign.Axis{{Path: "stations[0].count", Values: []json.RawMessage{json.RawMessage("2")}}},
+		Reps: 1,
+	}
+	cc, err := campaign.Compile(camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crep, err := campaign.Run(cc, campaign.Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointJSON, err := json.Marshal(crep.Points[0].Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pointJSON, standaloneJSON) {
+		t.Errorf("campaign point report differs from the standalone path:\npoint:      %s\nstandalone: %s",
+			pointJSON, standaloneJSON)
+	}
 }
 
 // TestNewFailsFastOnUnusableCacheDir: the silent-persistence bug — a
