@@ -5,13 +5,23 @@ BENCH     ?= .
 BENCHTIME ?= 1s
 COUNT     ?= 3
 
-.PHONY: build test race bench fuzz-smoke
+.PHONY: build test race bench fuzz-smoke lint
 
 build:
 	go build ./...
 
 test:
 	go test ./...
+
+# lint is the static gate: formatting, go vet, and plclint — the
+# repo's own analyzers (detrand, maporder, journalerr) plus the
+# //plclint:noalloc escape gate over the annotated hot functions.
+# See docs/LINTING.md.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	go vet ./...
+	go run ./cmd/plclint ./...
 
 race:
 	go test -race ./...

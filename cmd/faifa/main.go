@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/config"
@@ -98,7 +99,12 @@ func main() {
 	fmt.Printf("dominant burst size = %d\n", a.DominantBurstSize())
 	fmt.Printf("MME overhead        = %.6f\n", a.MMEOverhead())
 	fmt.Println("data bursts per source:")
-	for tei, count := range a.SourceBursts {
-		fmt.Printf("  TEI %-3d: %d\n", tei, count)
+	teis := make([]int, 0, len(a.SourceBursts))
+	for tei := range a.SourceBursts {
+		teis = append(teis, int(tei))
+	}
+	sort.Ints(teis)
+	for _, tei := range teis {
+		fmt.Printf("  TEI %-3d: %d\n", tei, a.SourceBursts[hpav.TEI(tei)])
 	}
 }

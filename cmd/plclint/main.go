@@ -1,0 +1,168 @@
+// Command plclint statically enforces the repository's determinism,
+// hot-path and error-handling invariants.
+//
+// Standalone:
+//
+//	plclint ./...             run all analyzers + the noalloc escape gate
+//	plclint -noalloc=false ./...   AST analyzers only
+//	plclint -list             print the analyzers and their package scopes
+//
+// As a vet tool (unitchecker protocol):
+//
+//	go vet -vettool=$(which plclint) ./...
+//
+// Exit status: 0 clean, 1 findings, 2 tool error.
+//
+// Analyzer scoping mirrors the invariants' blast radius: detrand runs
+// over the result-producing packages (plus internal/serve, whose
+// legitimate wall-clock uses are annotated), journalerr over the
+// journal/disk-cache owners internal/serve and internal/campaign, and
+// maporder everywhere — any package can grow a render path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/journalerr"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/noalloc"
+)
+
+// resultPackages are the packages whose output is part of a result —
+// a simulation metric, a rendered table, a fingerprint. detrand's
+// wall-clock/randomness ban applies here. internal/serve is included
+// so its deliberate wall-clock uses stay visible as annotations.
+var resultPackages = []string{
+	"internal/sim", "internal/mac", "internal/backoff",
+	"internal/scenario", "internal/campaign", "internal/stats",
+	"internal/model", "internal/boost", "internal/experiments",
+	"internal/rng", "internal/timing", "internal/traffic",
+	"internal/serve",
+}
+
+// journalPackages own the durable-write paths (job journal, disk
+// cache) whose dropped errors journalerr flags.
+var journalPackages = []string{
+	"internal/serve", "internal/campaign",
+}
+
+// scopes maps each analyzer to a package filter; nil means every
+// package.
+var scopes = map[string][]string{
+	detrand.Analyzer.Name:    resultPackages,
+	journalerr.Analyzer.Name: journalPackages,
+	maporder.Analyzer.Name:   nil,
+}
+
+var analyzers = []*analysis.Analyzer{
+	detrand.Analyzer,
+	maporder.Analyzer,
+	journalerr.Analyzer,
+}
+
+func inScope(importPath string, scope []string) bool {
+	if scope == nil {
+		return true
+	}
+	for _, suffix := range scope {
+		if strings.HasSuffix(importPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	// go vet's unitchecker handshake comes before normal flag
+	// parsing: -V=full, -flags, then one *.cfg argument per package.
+	if vettool() {
+		return
+	}
+
+	noallocGate := flag.Bool("noalloc", true, "run the //plclint:noalloc escape gate")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: plclint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "  %-10s fail on heap escapes inside //plclint:noalloc functions\n", noalloc.Name)
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			scope := "all packages"
+			if s := scopes[a.Name]; s != nil {
+				scope = strings.Join(s, ", ")
+			}
+			fmt.Printf("%-10s %s\n    scope: %s\n", a.Name, a.Doc, scope)
+		}
+		fmt.Printf("%-10s fail on heap escapes inside //plclint:noalloc functions\n    scope: all packages\n", noalloc.Name)
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		var run []*analysis.Analyzer
+		for _, a := range analyzers {
+			if inScope(pkg.ImportPath, scopes[a.Name]) {
+				run = append(run, a)
+			}
+		}
+		diags, err := analysis.Run(pkg, run)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+
+	if *noallocGate {
+		violations, annotated, err := noalloc.Check(cwd, pkgs)
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range violations {
+			fmt.Println(v)
+			findings++
+		}
+		if len(annotated) == 0 {
+			// The gate guards specific hot functions; a tree with no
+			// annotations means the gate is wired to nothing.
+			fmt.Fprintln(os.Stderr, "plclint: warning: no //plclint:noalloc annotations found; escape gate had nothing to check")
+		}
+	}
+
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "plclint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plclint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,198 @@
+package main
+
+// vettool.go implements the `go vet -vettool=` driver protocol (the
+// x/tools "unitchecker" contract) with the standard library only:
+//
+//  1. `plclint -V=full` prints a tool identity line cmd/go hashes into
+//     its build cache key;
+//  2. `plclint -flags` prints the tool's analyzer flags as JSON (none);
+//  3. `plclint <unit>.cfg` analyzes one compilation unit described by
+//     the JSON config cmd/go writes, importing dependencies from the
+//     export-data files listed there, and writes the (empty) facts
+//     file cmd/go expects.
+//
+// The noalloc escape gate does not run in vettool mode — it needs
+// whole-program `go build` runs, which `make lint` drives directly.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig is the compilation-unit description cmd/go hands to vet
+// tools. Field set and semantics follow x/tools' unitchecker.Config.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vettool handles the protocol if invoked by cmd/go, reporting whether
+// it consumed the invocation.
+func vettool() bool {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			printVersion()
+			return true
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Println("[]")
+			return true
+		case strings.HasSuffix(args[0], ".cfg"):
+			code := checkUnit(args[0])
+			os.Exit(code)
+		}
+	}
+	return false
+}
+
+// printVersion emits the identity line in the format cmd/go parses:
+// "name version ... buildID=hex". Hashing the executable itself means
+// a rebuilt plclint invalidates stale vet caches.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		// Best-effort self-hash; a read error just degrades the cache key.
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", name, string(h.Sum(nil)))
+}
+
+// checkUnit analyzes one compilation unit and returns the process exit
+// code: 0 clean, 1 findings, 2 error.
+func checkUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plclint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "plclint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// cmd/go requires the facts file regardless of findings.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "plclint:", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency unit, analyzed only for facts — we export none.
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	sources := map[string][]byte{}
+	var files []*ast.File
+	for _, path := range cfg.GoFiles {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plclint:", err)
+			return 2
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "plclint:", err)
+			return 2
+		}
+		sources[path] = src
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tconf := types.Config{Importer: imp}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "plclint:", err)
+		return 2
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+		Sources:    sources,
+	}
+	var run []*analysis.Analyzer
+	for _, a := range analyzers {
+		if inScope(cfg.ImportPath, scopes[a.Name]) {
+			run = append(run, a)
+		}
+	}
+	diags, err := analysis.Run(pkg, run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plclint:", err)
+		return 2
+	}
+	writeVetx()
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return 1
+	}
+	return 0
+}

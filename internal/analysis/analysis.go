@@ -1,0 +1,261 @@
+// Package analysis is the static-analysis framework behind plclint.
+//
+// It is a deliberately small, stdlib-only mirror of the
+// golang.org/x/tools/go/analysis API shape: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. The
+// builder environment has no network access, so the x/tools module
+// cannot be fetched; everything here is built on go/ast, go/types and
+// go/importer instead, keeping the module dependency-free. If the
+// repository ever gains the real dependency, analyzers written against
+// this package port mechanically (same Name/Doc/Run shape, same
+// Pass fields).
+//
+// Suppression: a source line can opt out of a named analyzer with
+//
+//	//plclint:allow <analyzer> -- <one-line justification>
+//
+// placed either at the end of the offending line or alone on the line
+// immediately above it. Allow annotations are themselves checked: one
+// that suppresses nothing is reported as a diagnostic, so stale
+// exemptions cannot accumulate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Run inspects the package
+// presented by the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //plclint:allow annotations. Lowercase, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Run executes the analyzer. Findings go through pass.Reportf;
+	// the error return is for analyzer malfunction, not findings.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass presents one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allows *allowSet
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos unless an in-scope
+// //plclint:allow annotation names this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allows != nil && p.allows.suppress(p.Analyzer.Name, position) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowRe matches the annotation comment body. The justification after
+// "--" is free text for humans; the analyzer list before it is parsed.
+var allowRe = regexp.MustCompile(`^//plclint:allow\s+([a-z0-9_,\s]+?)\s*(?:--.*)?$`)
+
+// An allowance is one parsed //plclint:allow annotation.
+type allowance struct {
+	analyzer string
+	file     string // position filename
+	line     int    // line whose diagnostics it suppresses
+	declLine int    // line the comment itself appears on
+	used     bool
+}
+
+type allowSet struct {
+	byKey map[string][]*allowance // "analyzer\x00file" → annotations
+	all   []*allowance
+}
+
+// collectAllows parses every //plclint:allow annotation in the files.
+// A comment that trails code suppresses its own line; a comment alone
+// on its line suppresses the line below it (annotation-above style).
+// sources maps position filenames to raw file bytes, used to decide
+// whether a comment has code before it on its line.
+func collectAllows(fset *token.FileSet, files []*ast.File, sources map[string][]byte) *allowSet {
+	s := &allowSet{byKey: map[string][]*allowance{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				target := pos.Line
+				if wholeLineComment(fset, c, sources[pos.Filename]) {
+					target = pos.Line + 1
+				}
+				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					if name == "" {
+						continue
+					}
+					a := &allowance{
+						analyzer: name,
+						file:     pos.Filename,
+						line:     target,
+						declLine: pos.Line,
+					}
+					key := name + "\x00" + pos.Filename
+					s.byKey[key] = append(s.byKey[key], a)
+					s.all = append(s.all, a)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// wholeLineComment reports whether nothing but whitespace precedes c on
+// its source line. Comments that share a line with code suppress that
+// line; whole-line comments suppress the next. When the raw source is
+// unavailable the column-1 heuristic is used.
+func wholeLineComment(fset *token.FileSet, c *ast.Comment, src []byte) bool {
+	pos := fset.Position(c.Slash)
+	if pos.Column == 1 {
+		return true
+	}
+	if src == nil || pos.Offset > len(src) {
+		return false
+	}
+	for i := pos.Offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case ' ', '\t':
+			continue
+		case '\n':
+			return true
+		default:
+			return false
+		}
+	}
+	return true // start of file
+}
+
+func (s *allowSet) suppress(analyzer string, pos token.Position) bool {
+	for _, a := range s.byKey[analyzer+"\x00"+pos.Filename] {
+		if a.line == pos.Line {
+			a.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the package and returns the findings
+// sorted by position. Allow annotations are honored across the run;
+// afterwards, any annotation naming one of the executed analyzers that
+// suppressed nothing is itself reported (attributed to the analyzer it
+// names), and annotations naming an unknown analyzer are reported as
+// configuration errors.
+// Test files are exempt: the invariants guard shipped result-producing
+// code, and tests legitimately use seeded math/rand, wall clocks and
+// best-effort closes. The standalone loader never parses _test.go
+// files; this filter keeps vettool mode (where cmd/go hands us test
+// variants too) consistent with it.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	files := pkg.Syntax
+	var shipped []*ast.File
+	for _, f := range files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		shipped = append(shipped, f)
+	}
+	files = shipped
+
+	allows := collectAllows(pkg.Fset, files, pkg.Sources)
+	var diags []Diagnostic
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			allows:    allows,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	for _, a := range allows.all {
+		switch {
+		case !ran[a.analyzer] && !knownAnalyzer(a.analyzer):
+			diags = append(diags, Diagnostic{
+				Pos:      token.Position{Filename: a.file, Line: a.declLine, Column: 1},
+				Analyzer: "plclint",
+				Message:  fmt.Sprintf("//plclint:allow names unknown analyzer %q", a.analyzer),
+			})
+		case ran[a.analyzer] && !a.used:
+			diags = append(diags, Diagnostic{
+				Pos:      token.Position{Filename: a.file, Line: a.declLine, Column: 1},
+				Analyzer: a.analyzer,
+				Message:  fmt.Sprintf("unused //plclint:allow %s annotation: nothing to suppress on the line it covers", a.analyzer),
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// knownNames lists every analyzer name plclint ships, so that an allow
+// annotation for an analyzer that simply did not run on this package
+// (driver scoping) is not misreported as unknown.
+var knownNames = map[string]bool{
+	"detrand":    true,
+	"maporder":   true,
+	"journalerr": true,
+	"noalloc":    true,
+}
+
+func knownAnalyzer(name string) bool { return knownNames[name] }

@@ -1,0 +1,173 @@
+// Package analysistest runs a plclint analyzer over fixture packages
+// under a testdata/src tree and checks its diagnostics against
+// expectations written in the fixtures themselves, mirroring the
+// golang.org/x/tools/go/analysis/analysistest convention:
+//
+//	m := map[string]int{"a": 1}
+//	for k := range m { // want `iteration over map`
+//		fmt.Println(k)
+//	}
+//
+// Each `// want` comment carries one or more quoted regular
+// expressions; every diagnostic reported on that line must match one of
+// them, every expectation must be matched by a diagnostic, and
+// diagnostics on lines without a want comment fail the test. Fixture
+// packages must compile — the loader type-checks them through the real
+// toolchain — so fixtures demonstrate invariant violations, not syntax
+// errors.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one quoted regexp from a // want comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package rooted at testdata/src/<pkg>, runs the
+// analyzer, and reports mismatches between its diagnostics and the
+// fixtures' // want comments through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		loaded, err := analysis.Load(dir, ".")
+		if err != nil {
+			t.Errorf("load fixture %s: %v", name, err)
+			continue
+		}
+		for _, pkg := range loaded {
+			check(t, pkg, a)
+		}
+	}
+}
+
+func check(t *testing.T, pkg *analysis.Package, a *analysis.Analyzer) {
+	t.Helper()
+	expects, err := wants(pkg)
+	if err != nil {
+		t.Errorf("%s: %v", pkg.ImportPath, err)
+		return
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Errorf("%s: %v", pkg.ImportPath, err)
+		return
+	}
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", pkg.ImportPath, d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", pkg.ImportPath, e.file, e.line, e.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches, returning false when none does.
+func claim(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.re.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wants parses every // want comment in the package.
+func wants(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// `want` may open the comment (`// want "re"`) or
+				// follow other directive text in the same comment
+				// (`//plclint:allow x -- y // want "unused"`), since a
+				// line comment swallows everything to end of line.
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if idx := strings.Index(text, "// want "); idx >= 0 {
+					text = text[idx+len("// "):]
+				}
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				exps, err := parseWant(text[len("want "):], pos)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				out = append(out, exps...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseWant splits `"re1" "re2"` (double- or back-quoted) into compiled
+// expectations anchored at the comment's line.
+func parseWant(s string, pos token.Position) ([]*expectation, error) {
+	var out []*expectation
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		var lit string
+		switch s[0] {
+		case '"', '`':
+			end := closingQuote(s)
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated pattern in want comment")
+			}
+			lit = s[:end+1]
+			s = s[end+1:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted strings, got %q", s)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %s: %v", lit, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %s: %v", lit, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+	}
+}
+
+// closingQuote returns the index of the quote closing s[0], honoring
+// backslash escapes inside double quotes.
+func closingQuote(s string) int {
+	q := s[0]
+	for i := 1; i < len(s); i++ {
+		if q == '"' && s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == q {
+			return i
+		}
+	}
+	return -1
+}

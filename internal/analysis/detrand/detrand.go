@@ -1,0 +1,82 @@
+// Package detrand forbids nondeterministic inputs — wall-clock reads
+// and unfrozen randomness — in result-producing code.
+//
+// Every reproduction guarantee the repository makes (serve ≡ CLI,
+// serial ≡ -parallel, cached ≡ fresh, restart ≡ uninterrupted) assumes
+// that simulation output is a pure function of the scenario spec and
+// its seed. A stray time.Now() in a metric, or a math/rand draw whose
+// algorithm Go is free to change between releases, breaks that contract
+// silently. The sanctioned randomness source is repro/internal/rng
+// (frozen xoshiro256**), and the sanctioned clock is the simulated one.
+//
+// In the packages it is pointed at, detrand reports:
+//
+//   - calls to time.Now and time.Since (wall clock);
+//   - any use of math/rand or math/rand/v2 — global top-level draws
+//     and Source/Rand construction alike — outside internal/rng;
+//   - any use of crypto/rand.
+//
+// Legitimate wall-clock uses (job service timing in internal/serve,
+// Retry-After estimation) carry a //plclint:allow detrand annotation
+// with a justification; an annotation that stops suppressing anything
+// is itself reported.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock and unfrozen randomness in result-producing packages",
+	Run:  run,
+}
+
+// forbiddenTimeFuncs are the time package functions that read the wall
+// clock. time.Duration arithmetic and constants stay legal.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// internal/rng is the one home randomness construction is allowed;
+	// it wraps nothing today, but the exemption documents the rule.
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/rng") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil {
+				return true
+			}
+			pkg := obj.Pkg()
+			if pkg == nil {
+				return true
+			}
+			switch pkg.Path() {
+			case "time":
+				if fn, ok := obj.(*types.Func); ok && forbiddenTimeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(), "call to time.%s reads the wall clock in a result-producing package; results must be a function of (spec, seed) only", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(sel.Pos(), "use of %s.%s: unfrozen randomness in a result-producing package; draw from repro/internal/rng instead", pkg.Path(), obj.Name())
+			case "crypto/rand":
+				pass.Reportf(sel.Pos(), "use of crypto/rand.%s: nonreproducible randomness in a result-producing package; draw from repro/internal/rng instead", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detrand"
+)
+
+// TestDetrandFixture pins every forbidden construct (wall clock,
+// math/rand globals and Source construction, crypto/rand), both
+// annotation placements, and the unused-annotation finding.
+func TestDetrandFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "detrand")
+}
+
+// TestDetrandExemptsRng pins the one package allowed to own randomness
+// construction: a package whose import path ends in internal/rng is
+// skipped entirely.
+func TestDetrandExemptsRng(t *testing.T) {
+	pkgs, err := analysis.Load(".", "repro/internal/rng")
+	if err != nil {
+		t.Fatalf("load internal/rng: %v", err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{detrand.Analyzer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("unexpected diagnostic in exempt package: %s", d)
+		}
+	}
+}

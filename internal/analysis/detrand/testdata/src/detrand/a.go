@@ -1,0 +1,59 @@
+// Package detrandfix is a fixture for the detrand analyzer: every
+// construct a result-producing package must not contain, plus the
+// annotation forms that exempt deliberate uses.
+package detrandfix
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+// wallClock exercises the time.* surface.
+func wallClock() float64 {
+	t := time.Now()          // want `call to time\.Now reads the wall clock`
+	d := time.Since(t)       // want `call to time\.Since reads the wall clock`
+	_ = time.Until(t)        // want `call to time\.Until reads the wall clock`
+	_ = time.Duration(3)     // duration arithmetic stays legal
+	_ = time.Microsecond * 5 // constants stay legal
+	return d.Seconds()
+}
+
+// globalRand exercises math/rand top-level draws.
+func globalRand() int {
+	rand.Seed(42)     // want `use of math/rand\.Seed`
+	_ = rand.Intn(10) // want `use of math/rand\.Intn`
+	return rand.Int() // want `use of math/rand\.Int`
+}
+
+// sourceConstruction exercises rand.Source/rand.Rand construction,
+// which is forbidden outside internal/rng even when locally seeded.
+func sourceConstruction() float64 {
+	src := rand.NewSource(1) // want `use of math/rand\.NewSource`
+	r := rand.New(src)       // want `use of math/rand\.New`
+	var _ rand.Source        // want `use of math/rand\.Source`
+	return r.Float64()       // want `use of math/rand\.Float64`
+}
+
+// cryptoRand exercises the crypto/rand ban.
+func cryptoRand(buf []byte) {
+	crand.Read(buf) // want `use of crypto/rand\.Read`
+}
+
+// allowedTrailing shows a trailing annotation suppressing its own line.
+func allowedTrailing() time.Time {
+	return time.Now() //plclint:allow detrand -- fixture: deliberate wall-clock read
+}
+
+// allowedAbove shows a whole-line annotation suppressing the next line.
+func allowedAbove() time.Time {
+	//plclint:allow detrand -- fixture: deliberate wall-clock read
+	return time.Now()
+}
+
+// An annotation that suppresses nothing is itself a finding.
+//
+//plclint:allow detrand -- fixture: stale exemption // want `unused //plclint:allow detrand annotation`
+func nothingToAllow() int {
+	return 4
+}

@@ -1,0 +1,163 @@
+// Package journalerr flags discarded errors from durable-write calls.
+//
+// The crash-safety contract (PR 6) rests on the job journal and the
+// disk cache actually reaching disk: a silently dropped error from a
+// Write, Sync, Close, Rename or Encode on those paths turns "kill and
+// restart ≡ uninterrupted" into a data-loss bug that only shows up
+// after a crash — exactly the storeDisk silent-drop fixed in PR 4,
+// generalized into a lint.
+//
+// The analyzer reports a call whose final result is an error when the
+// error is discarded — the call stands alone as a statement, is
+// deferred or spawned with go, or the error position is assigned to
+// the blank identifier — and the callee is one of:
+//
+//   - a method named Write, WriteString, Sync, Close, Rename, Encode
+//     or Flush on *os.File, *bufio.Writer, *encoding/json.Encoder or
+//     *encoding/gob.Encoder (the durable-write surface);
+//   - the package functions os.Rename, os.WriteFile.
+//
+// Calls on network writers (http.ResponseWriter and friends) are out of
+// scope: a client hanging up is not a durability event. Deliberate
+// drops — a read-only file's deferred Close, for example — carry
+// //plclint:allow journalerr with a justification.
+package journalerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the journalerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "journalerr",
+	Doc:  "flag discarded errors from journal/disk-cache writes (Write, Sync, Close, Rename, Encode)",
+	Run:  run,
+}
+
+// watchedMethods is the durable-write method surface.
+var watchedMethods = map[string]bool{
+	"Write": true, "WriteString": true, "Sync": true,
+	"Close": true, "Rename": true, "Encode": true, "Flush": true,
+}
+
+// watchedRecvTypes are the named types whose watched methods must not
+// have their errors dropped. Matching is by full type string of the
+// pointer element.
+var watchedRecvTypes = map[string]bool{
+	"os.File":               true,
+	"bufio.Writer":          true,
+	"encoding/json.Encoder": true,
+	"encoding/gob.Encoder":  true,
+}
+
+// watchedPkgFuncs are package-level durable-write functions.
+var watchedPkgFuncs = map[string]map[string]bool{
+	"os": {"Rename": true, "WriteFile": true},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(pass, call, "discarded")
+				}
+			case *ast.DeferStmt:
+				report(pass, n.Call, "discarded by defer")
+			case *ast.GoStmt:
+				report(pass, n.Call, "discarded by go")
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags calls whose error result lands in the blank
+// identifier: `_ = f.Sync()` or `n, _ := w.Write(b)`.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	// The error is the final result; it is discarded when the final
+	// LHS is blank.
+	last := as.Lhs[len(as.Lhs)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+		report(pass, call, "assigned to the blank identifier")
+	}
+}
+
+// report emits a diagnostic if the call is a watched durable write
+// returning an error.
+func report(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	name, recv, ok := watched(pass, call)
+	if !ok {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s.%s %s: a dropped durable-write error breaks crash-safety — handle it or annotate a deliberate drop", recv, name, how)
+}
+
+// watched reports whether the call is on the durable-write surface and
+// returns a human-readable receiver description.
+func watched(pass *analysis.Pass, call *ast.CallExpr) (name, recv string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	if !returnsError(fn) {
+		return "", "", false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		// Package-level function: os.Rename, os.WriteFile.
+		pkg := fn.Pkg()
+		if pkg == nil {
+			return "", "", false
+		}
+		if names, found := watchedPkgFuncs[pkg.Path()]; found && names[fn.Name()] {
+			return fn.Name(), pkg.Name(), true
+		}
+		return "", "", false
+	}
+	if !watchedMethods[fn.Name()] {
+		return "", "", false
+	}
+	rt := sig.Recv().Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if !watchedRecvTypes[full] {
+		return "", "", false
+	}
+	return fn.Name(), "*" + named.Obj().Pkg().Name() + "." + named.Obj().Name(), true
+}
+
+// returnsError reports whether the function's final result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

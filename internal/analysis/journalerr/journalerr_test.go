@@ -1,0 +1,16 @@
+package journalerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/journalerr"
+)
+
+// TestJournalerrFixture pins each discard shape (statement, blank
+// assignment, defer, go) across the durable-write surface (*os.File,
+// *bufio.Writer, json/gob encoders, os.Rename/WriteFile), the handled
+// negatives, out-of-scope writers, and both annotation behaviors.
+func TestJournalerrFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", journalerr.Analyzer, "journalerr")
+}

@@ -1,0 +1,82 @@
+// Package journalerrfix is a fixture for the journalerr analyzer:
+// every way a durable-write error can be dropped, the handled forms
+// that stay legal, and the out-of-scope writers that must not be
+// flagged.
+package journalerrfix
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// dropped exercises each discard shape on *os.File.
+func dropped(f *os.File, b []byte) {
+	f.Write(b)         // want `error from \*os\.File\.Write discarded`
+	f.Sync()           // want `error from \*os\.File\.Sync discarded`
+	_ = f.Sync()       // want `error from \*os\.File\.Sync assigned to the blank identifier`
+	n, _ := f.Write(b) // want `error from \*os\.File\.Write assigned to the blank identifier`
+	_ = n
+	defer f.Close() // want `error from \*os\.File\.Close discarded by defer`
+}
+
+// droppedBufio exercises the bufio.Writer surface.
+func droppedBufio(w *bufio.Writer, b []byte) {
+	w.Write(b)         // want `error from \*bufio\.Writer\.Write discarded`
+	w.WriteString("x") // want `error from \*bufio\.Writer\.WriteString discarded`
+	w.Flush()          // want `error from \*bufio\.Writer\.Flush discarded`
+}
+
+// droppedEncoders exercises json and gob encoders.
+func droppedEncoders(v any) {
+	var buf bytes.Buffer
+	json.NewEncoder(&buf).Encode(v) // want `error from \*json\.Encoder\.Encode discarded`
+	gob.NewEncoder(&buf).Encode(v)  // want `error from \*gob\.Encoder\.Encode discarded`
+}
+
+// droppedPkgFuncs exercises the package-level durable writes.
+func droppedPkgFuncs(dir string, b []byte) {
+	os.Rename(dir+"/a", dir+"/b")    // want `error from os\.Rename discarded`
+	os.WriteFile(dir+"/c", b, 0o644) // want `error from os\.WriteFile discarded`
+	go os.Rename(dir+"/d", dir+"/e") // want `error from os\.Rename discarded by go`
+}
+
+// handled shows the legal forms: errors checked or propagated.
+func handled(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// outOfScope: writers that are not durable surfaces stay legal even
+// when their errors are dropped.
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (nullWriter) Close() error                { return nil }
+
+func outOfScope(w io.Writer, b []byte) {
+	w.Write(b) // interface write: not the durable surface
+	var nw nullWriter
+	nw.Write(b) // custom writer: not watched
+	defer nw.Close()
+}
+
+// allowedDrop shows an annotated deliberate drop.
+func allowedDrop(f *os.File) {
+	defer f.Close() //plclint:allow journalerr -- fixture: read-only file, close error carries no data
+}
+
+// An annotation with nothing to suppress is reported.
+//
+//plclint:allow journalerr -- fixture: stale exemption // want `unused //plclint:allow journalerr annotation`
+func nothingHere() int {
+	return 2
+}

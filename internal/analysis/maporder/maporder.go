@@ -1,0 +1,409 @@
+// Package maporder flags map iteration whose order can leak into
+// output bytes.
+//
+// Go randomizes map iteration order on purpose, so a `range` over a map
+// inside anything that renders text, writes to an io.Writer, or feeds
+// the scenario canonicalizer is the classic byte-identity breaker: the
+// goldens pass on one run and differ on the next. The repository's
+// contract — serve responses byte-identical to the CLI, serial ≡
+// -parallel, cached ≡ fresh — makes every such site a latent bug.
+//
+// The analyzer reports a range over a map-typed expression when:
+//
+//   - the loop body performs an order-sensitive action: formatted
+//     printing (fmt.Print*/Fprint*/Sprint*/Errorf/Appendf), a
+//     Write/WriteString/WriteByte/WriteRune/Flush method call,
+//     io.WriteString, string concatenation onto an outer variable, a
+//     call to scenario.Canonical or scenario.Fingerprint, or a call to
+//     any same-package function that (transitively) does one of these;
+//   - or the loop collects keys/values into a slice that is never
+//     passed to a sort (sort.* or slices.Sort*) later in the same
+//     function — the collect-then-sort idiom with the sort deleted.
+//
+// Loop bodies that only aggregate order-insensitively (counting,
+// summing, min/max, writes into other maps, deletes) pass, as does
+// `for range m` without iteration variables. Genuinely order-free
+// iterations that trip the heuristic carry //plclint:allow maporder
+// with a justification.
+package maporder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose nondeterministic order can reach rendered output or canonical fingerprints",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	emits := emittingFuncs(pass)
+	for _, f := range pass.Files {
+		// Track enclosing top-level function bodies so the
+		// collect-then-sort search knows where "later in the same
+		// function" ends.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, emits)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, emits map[*types.Func]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.Types[rs.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if rs.Key == nil || isBlank(rs.Key) && (rs.Value == nil || isBlank(rs.Value)) {
+			// `for range m` / `for _ = range m`: the body cannot see
+			// the key, so its order cannot reach the output.
+			return true
+		}
+		if desc, pos := findSink(pass, rs.Body, emits); pos.IsValid() {
+			pass.Reportf(rs.For, "iteration over map %s %s in the loop body; map order is randomized — collect the keys, sort them, and range over the slice", exprString(pass, rs.X), desc)
+			return true
+		}
+		for _, tgt := range appendTargets(pass, rs.Body) {
+			if !sortedAfter(pass, fd.Body, rs, tgt.obj) {
+				pass.Reportf(rs.For, "keys of map %s are collected into %q but %q is never sorted afterwards; map order is randomized — add a sort before use", exprString(pass, rs.X), tgt.obj.Name(), tgt.obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func exprString(pass *analysis.Pass, e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		return exprString(pass, sel.X) + "." + sel.Sel.Name
+	}
+	return "expression"
+}
+
+// target is one `v = append(v, ...)` accumulation inside a loop body.
+type target struct {
+	obj types.Object
+}
+
+// appendTargets finds local slice variables the loop body appends to.
+// Appends through selectors (fields, package globals) are treated as
+// sinks by findSink, not collected here.
+func appendTargets(pass *analysis.Pass, body *ast.BlockStmt) []target {
+	seen := map[types.Object]bool{}
+	var out []target
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+			return true
+		}
+		first, ok := call.Args[0].(*ast.Ident)
+		if !ok || first.Name != lhs.Name {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[lhs]
+		}
+		if obj != nil && !seen[obj] {
+			seen[obj] = true
+			out = append(out, target{obj: obj})
+		}
+		return true
+	})
+	return out
+}
+
+// sortFuncs are the standard sorting entry points that make a collected
+// key slice deterministic again.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether obj appears in the arguments of a sort
+// call positioned after the range statement inside the function body.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		names, ok := sortFuncs[fn.Pkg().Name()]
+		if !ok || !names[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsObject reports whether the expression tree references obj —
+// covering sort.Strings(keys), sort.Sort(byName(keys)) and
+// slices.SortFunc(keys, cmp) alike.
+func mentionsObject(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// findSink looks for the first order-sensitive action in the loop body
+// and returns a short description of it.
+func findSink(pass *analysis.Pass, body *ast.BlockStmt, emits map[*types.Func]bool) (string, token.Pos) {
+	var desc string
+	var pos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if d, ok := callSink(pass, n, emits); ok {
+				desc, pos = d, n.Pos()
+				return false
+			}
+		case *ast.AssignStmt:
+			if d, ok := assignSink(pass, n); ok {
+				desc, pos = d, n.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return desc, pos
+}
+
+// assignSink flags string accumulation and appends through selectors
+// (struct fields, package variables) whose sortedness cannot be
+// verified locally.
+func assignSink(pass *analysis.Pass, as *ast.AssignStmt) (string, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", false
+	}
+	lhsType := pass.TypesInfo.Types[as.Lhs[0]].Type
+	isString := lhsType != nil && isStringType(lhsType)
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		if isString {
+			return "concatenates onto a string", true
+		}
+	case token.ASSIGN, token.DEFINE:
+		if isString {
+			// s = s + k style accumulation.
+			if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+				if sameExpr(as.Lhs[0], bin.X) {
+					return "concatenates onto a string", true
+				}
+			}
+		}
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+			if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" {
+				if _, isSel := as.Lhs[0].(*ast.SelectorExpr); isSel {
+					return "appends to a field or package variable", true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func sameExpr(a, b ast.Expr) bool {
+	ai, aok := a.(*ast.Ident)
+	bi, bok := b.(*ast.Ident)
+	return aok && bok && ai.Name == bi.Name
+}
+
+// writerMethods are method names whose call means bytes are leaving in
+// iteration order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Flush": true,
+}
+
+// callSink classifies one call expression.
+func callSink(pass *analysis.Pass, call *ast.CallExpr, emits map[*types.Func]bool) (string, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "fmt":
+			if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+				strings.HasPrefix(name, "Sprint") || strings.HasPrefix(name, "Append") ||
+				name == "Errorf" {
+				return fmt.Sprintf("calls fmt.%s", name), true
+			}
+		case "io":
+			if name == "WriteString" || name == "Copy" {
+				return fmt.Sprintf("calls io.%s", name), true
+			}
+		}
+		if strings.HasSuffix(pkg.Path(), "scenario") && (name == "Canonical" || name == "Fingerprint") {
+			return fmt.Sprintf("feeds %s.%s", pkg.Name(), name), true
+		}
+		if emits[fn] {
+			return fmt.Sprintf("calls %s, which writes output", name), true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && writerMethods[name] {
+		return fmt.Sprintf("calls %s on a writer", name), true
+	}
+	return "", false
+}
+
+// calleeFunc resolves the called function or method, if statically
+// known.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// emittingFuncs computes, to a fixed point, the set of same-package
+// functions that directly or transitively perform an order-sensitive
+// write — the "transitively, within the package" rule.
+func emittingFuncs(pass *analysis.Pass) map[*types.Func]bool {
+	// Collect package function bodies in declaration order — the
+	// fixed point is order-independent, but the analyzer practices
+	// what it preaches.
+	type funcBody struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var bodies []funcBody
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				bodies = append(bodies, funcBody{fn, fd.Body})
+			}
+		}
+	}
+	emits := map[*types.Func]bool{}
+	// Seed with direct sinks.
+	for _, fb := range bodies {
+		ast.Inspect(fb.body, func(n ast.Node) bool {
+			if emits[fb.fn] {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, sink := callSink(pass, call, nil); sink {
+				emits[fb.fn] = true
+				return false
+			}
+			return true
+		})
+	}
+	// Propagate through same-package calls.
+	for changed := true; changed; {
+		changed = false
+		for _, fb := range bodies {
+			if emits[fb.fn] {
+				continue
+			}
+			ast.Inspect(fb.body, func(n ast.Node) bool {
+				if emits[fb.fn] {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass, call)
+				if callee != nil && callee.Pkg() == pass.Pkg && emits[callee] {
+					emits[fb.fn] = true
+					changed = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return emits
+}

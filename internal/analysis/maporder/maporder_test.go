@@ -1,0 +1,94 @@
+package maporder_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/maporder"
+)
+
+// TestMaporderFixture pins the positive hits (direct prints, writer
+// writes, string building, canonicalizer feeds, transitive emit), the
+// collect-then-sort negative case and its sortless regression, the
+// order-insensitive negatives, and both annotation findings.
+func TestMaporderFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "maporder")
+}
+
+// TestDeletingRealSortFails is the acceptance criterion on the real
+// tree: internal/mac's (*Counters).Keys collects map keys and sorts
+// them — the analyzer accepts it as written, and flags it the moment
+// the sort is deleted. The deletion happens on the in-memory AST, so
+// the test proves the shipped sort call is load-bearing for the lint
+// without touching the source.
+func TestDeletingRealSortFails(t *testing.T) {
+	pkgs, err := analysis.Load(".", "repro/internal/mac")
+	if err != nil {
+		t.Fatalf("load internal/mac: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{maporder.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("internal/mac should be clean as shipped, got: %s", d)
+	}
+
+	// Surgically remove the sort.Slice statement from (*Counters).Keys.
+	removed := false
+	for _, f := range pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Keys" || fd.Recv == nil {
+				continue
+			}
+			var kept []ast.Stmt
+			for _, stmt := range fd.Body.List {
+				if isSortCall(stmt) {
+					removed = true
+					continue
+				}
+				kept = append(kept, stmt)
+			}
+			fd.Body.List = kept
+		}
+	}
+	if !removed {
+		t.Fatal("did not find a sort call to delete in (*Counters).Keys — the real-tree anchor moved")
+	}
+
+	diags, err = analysis.Run(pkg, []*analysis.Analyzer{maporder.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("deleting the sort from (*Counters).Keys produced no maporder finding")
+	}
+	for _, d := range diags {
+		t.Logf("as expected after deleting the sort: %s", d)
+	}
+}
+
+func isSortCall(stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "sort"
+}

@@ -1,0 +1,167 @@
+// Package maporderfix is a fixture for the maporder analyzer: map
+// ranges that leak iteration order into output, the collect-then-sort
+// idiom that neutralizes them (and its broken sortless variant), and
+// order-insensitive iterations that must stay legal.
+package maporderfix
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	scenario "repro/internal/analysis/maporder/testdata/src/scenario"
+)
+
+// directPrint iterates a map straight into fmt output.
+func directPrint(m map[string]int) {
+	for k, v := range m { // want `iteration over map m calls fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// writerWrite iterates a map into an io.Writer.
+func writerWrite(w io.Writer, m map[string]int) {
+	for k := range m { // want `iteration over map m calls Write on a writer`
+		w.Write([]byte(k))
+	}
+}
+
+// builderWrite iterates a map into a strings.Builder.
+func builderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `iteration over map m calls WriteString on a writer`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// bufferWrite iterates a map into a bytes.Buffer.
+func bufferWrite(m map[string]bool) []byte {
+	var buf bytes.Buffer
+	for k := range m { // want `iteration over map m calls WriteString on a writer`
+		buf.WriteString(k)
+	}
+	return buf.Bytes()
+}
+
+// stringConcat accumulates a string across iterations.
+func stringConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `iteration over map m concatenates onto a string`
+		s += k
+	}
+	return s
+}
+
+// feedsCanonical hands map-ordered data to the canonicalizer.
+func feedsCanonical(m map[string]any) {
+	for _, v := range m { // want `iteration over map m feeds scenario\.Canonical`
+		scenario.Canonical(v)
+	}
+}
+
+// feedsFingerprint hands map-ordered data to the fingerprinter.
+func feedsFingerprint(m map[string]any) {
+	for _, v := range m { // want `iteration over map m feeds scenario\.Fingerprint`
+		scenario.Fingerprint(v, 1)
+	}
+}
+
+// emitHelper writes output; rangeCallsHelper reaches it transitively
+// within the package.
+func emitHelper(k string) {
+	fmt.Println(k)
+}
+
+func rangeCallsHelper(m map[string]int) {
+	for k := range m { // want `iteration over map m calls emitHelper, which writes output`
+		emitHelper(k)
+	}
+}
+
+// collectSorted is the sanctioned idiom: collect, sort, then render.
+func collectSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m { // no finding: keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// collectSortSlice is the same idiom through sort.Slice.
+func collectSortSlice(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // no finding: keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// collectUnsorted is collectSorted with the sort deleted — the exact
+// regression the analyzer exists to catch.
+func collectUnsorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `keys of map m are collected into "keys" but "keys" is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// aggregate is order-insensitive: counting and summing stay legal.
+func aggregate(m map[string]int) (n, sum int) {
+	for _, v := range m { // no finding: order-insensitive
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+// maxKey is order-insensitive: max selection stays legal.
+func maxKey(m map[int]bool) int {
+	best := 0
+	for k := range m { // no finding: order-insensitive
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// invert writes into another map, which has no order.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // no finding: map writes are unordered anyway
+		out[v] = k
+	}
+	return out
+}
+
+// countOnly never binds the key, so order cannot escape.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m { // no finding: no iteration variable
+		n++
+	}
+	return n
+}
+
+// allowed demonstrates an annotated deliberate iteration.
+func allowed(m map[string]int) {
+	//plclint:allow maporder -- fixture: debug dump, order genuinely irrelevant
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// An allow annotation above a clean line is reported as unused.
+//
+//plclint:allow maporder -- fixture: stale exemption // want `unused //plclint:allow maporder annotation`
+func cleanFunc() int {
+	return 1
+}

@@ -1,0 +1,11 @@
+// Package scenario is a fixture stand-in for repro/internal/scenario:
+// the maporder analyzer matches Canonical/Fingerprint by package-path
+// suffix, so fixtures can exercise the rule without importing the real
+// engine.
+package scenario
+
+// Canonical mimics scenario.Canonical's shape.
+func Canonical(v any) ([]byte, error) { return nil, nil }
+
+// Fingerprint mimics scenario.Fingerprint's shape.
+func Fingerprint(v any, reps int) string { return "" }

@@ -1,0 +1,56 @@
+// Package noallocfix is a fixture for the noalloc escape gate: one
+// annotated function per behavior class — clean, panic-only escapes
+// (excluded), and genuine heap escapes (violations).
+package noallocfix
+
+import "fmt"
+
+// clean is allocation-free: pure arithmetic over its arguments.
+//
+//plclint:noalloc
+func clean(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// guarded allocates only on its panic path, which the gate excludes:
+// panic paths terminate the run and cannot contribute to steady-state
+// allocation.
+//
+//plclint:noalloc
+func guarded(k int) int {
+	if k < 0 {
+		panic(fmt.Sprintf("noallocfix: negative %d", k))
+	}
+	return k * 2
+}
+
+// leaksMake returns a fresh slice: the make escapes to the heap, a
+// genuine violation.
+//
+//plclint:noalloc
+func leaksMake(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// leaksAddr returns the address of a local: the variable moves to the
+// heap, a genuine violation.
+//
+//plclint:noalloc
+func leaksAddr() *int {
+	x := 5
+	return &x
+}
+
+// unannotated allocates freely; without the annotation the gate has no
+// opinion.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

@@ -159,6 +159,8 @@ func (s *Station) AfterIdle() Action {
 // to k successive AfterIdle calls — the property the simulator's
 // idle-slot fast-forward relies on. k must satisfy 1 ≤ k ≤ BC (the k-th
 // batched slot still needs a pending backoff to decrement).
+//
+//plclint:noalloc
 func (s *Station) AfterIdleN(k int) Action {
 	if s.fresh {
 		panic("backoff: AfterIdleN before Start")

@@ -90,6 +90,8 @@ func (s *DCFStation) AfterIdle() Action {
 // AfterIdleN advances across k consecutive idle slots in O(1); like the
 // 1901 machine, DCF idle slots consume no randomness, so the state is
 // bit-identical to k successive AfterIdle calls. 1 ≤ k ≤ BC.
+//
+//plclint:noalloc
 func (s *DCFStation) AfterIdleN(k int) Action {
 	if s.fresh {
 		panic("backoff: DCF AfterIdleN before Start")

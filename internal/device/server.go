@@ -1,9 +1,11 @@
 package device
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 
 	"repro/internal/hpav"
@@ -106,8 +108,17 @@ func (h *Host) dispatch(datagram []byte, from net.Addr) [][]byte {
 	defer h.mu.Unlock()
 	var out [][]byte
 	if f.ODA == hpav.Broadcast {
-		for _, d := range h.devices {
-			if reply, err := d.HandleMME(f); err == nil {
+		// Reply in MAC order: broadcast responses land on the wire in
+		// iteration order, and map order is randomized per process.
+		addrs := make([]hpav.MAC, 0, len(h.devices))
+		for a := range h.devices {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool {
+			return bytes.Compare(addrs[i][:], addrs[j][:]) < 0
+		})
+		for _, a := range addrs {
+			if reply, err := h.devices[a].HandleMME(f); err == nil {
 				out = append(out, reply.Marshal())
 			}
 		}

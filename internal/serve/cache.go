@@ -64,7 +64,7 @@ func newCache(max, maxBytes int, dir string, faults *Faults) (*cache, error) {
 			return nil, fmt.Errorf("serve: cache dir %s is not writable: %w", dir, err)
 		}
 		name := probe.Name()
-		probe.Close()
+		probe.Close() //plclint:allow journalerr -- writability probe, deleted on the next line; nothing durable is in it
 		os.Remove(name)
 	}
 	return &cache{max: max, maxBytes: maxBytes, dir: dir, faults: faults, ll: list.New(), items: make(map[string]*list.Element)}, nil

@@ -802,12 +802,12 @@ func (s *Server) worker() {
 // converts worker panics to *par.PanicError) and fails only this job;
 // the worker goroutine and every other job survive.
 func (s *Server) runJob(j *Job) {
-	started := time.Now()
+	started := time.Now() //plclint:allow detrand -- job service timing feeds Retry-After estimation, never results
 	defer func() {
 		if v := recover(); v != nil {
 			err := &par.PanicError{Value: v, Stack: debug.Stack()}
 			j.finish(StateFailed, nil, err.Error())
-			s.finishJob(j, StateFailed, time.Since(started), true)
+			s.finishJob(j, StateFailed, time.Since(started), true) //plclint:allow detrand -- wall-clock service time is operational metadata, not a result
 		}
 	}()
 	ctx, ok := j.start(s.ctx)
@@ -832,7 +832,7 @@ func (s *Server) runJob(j *Job) {
 			ent, err = encodeResult(j.key, rep)
 		}
 	}
-	svc := time.Since(started)
+	svc := time.Since(started) //plclint:allow detrand -- wall-clock service time is operational metadata, not a result
 	state, panicked := classify(ctx, err)
 	if err != nil {
 		j.finish(state, nil, err.Error())

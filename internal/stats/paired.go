@@ -121,6 +121,8 @@ func (p *PairedAccumulator) N() int { return p.y.N() }
 func (p *PairedAccumulator) Raw() Accumulator { return p.y }
 
 // Add folds one (value, controls) pair into the accumulator.
+//
+//plclint:noalloc
 func (p *PairedAccumulator) Add(y float64, c []float64) {
 	if len(c) != p.k {
 		panic(fmt.Sprintf("stats: PairedAccumulator.Add: %d controls, want %d", len(c), p.k))
@@ -151,6 +153,8 @@ func (p *PairedAccumulator) Add(y float64, c []float64) {
 // pair it saw had been Added here. A one-pair argument delegates to
 // Add, so merging singletons reproduces sequential accumulation bit for
 // bit (the same guarantee Accumulator.Merge gives).
+//
+//plclint:noalloc
 func (p *PairedAccumulator) Merge(b *PairedAccumulator) {
 	if b.k != p.k {
 		panic(fmt.Sprintf("stats: PairedAccumulator.Merge: %d controls into %d", b.k, p.k))

@@ -112,6 +112,8 @@ type Accumulator struct {
 }
 
 // Add folds one value into the accumulator.
+//
+//plclint:noalloc
 func (a *Accumulator) Add(x float64) {
 	a.n++
 	if a.n == 1 {
@@ -140,6 +142,8 @@ func (a *Accumulator) Add(x float64) {
 // rounding; a singleton's d²·na·nb/n term rounds differently than Add's
 // d·(x−mean′), which is why the delegation is not an optimization but a
 // correctness fix for bit-exact replay.)
+//
+//plclint:noalloc
 func (a *Accumulator) Merge(b Accumulator) {
 	if b.n == 0 {
 		return
