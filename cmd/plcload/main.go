@@ -1,0 +1,721 @@
+// Command plcload drives a running plcsrv with synthetic load and
+// reports client-side latency percentiles next to the server's own
+// /metrics deltas — one tool to answer "what does this deployment do
+// under N req/s?" and to exercise the serving stack end to end.
+//
+// Two loop disciplines:
+//
+//   - closed loop (default): -concurrency workers each submit, wait
+//     for the job's terminal event, and immediately submit again —
+//     throughput finds its own level;
+//   - open loop (-rps > 0): submissions arrive on a fixed schedule
+//     regardless of completions, the discipline that exposes queueing
+//     collapse; -max-inflight caps outstanding requests, and arrivals
+//     beyond the cap are counted as shed, never silently dropped.
+//
+// The workload is a weighted spec mix (-spec for a single file, -mix
+// for a weighted list) reusing the repository's examples/scenarios and
+// examples/campaigns files verbatim; a top-level "base" object marks a
+// campaign. Per request the spec's seed is rewritten from a
+// deterministic jitter stream (repro/internal/rng, -seed): with
+// probability -hit-ratio the seed comes from a small hot pool of
+// -hot-seeds values (repeats hit the server's result cache), otherwise
+// it is unique to the request (forcing a fresh simulation). The mix of
+// cache hits, coalesces and misses is therefore reproducible run to
+// run.
+//
+// plcload scrapes GET /metrics before and after the run and prints the
+// per-family deltas, so client-observed latency and server-side
+// counters (submissions, cache hits, coalesces, rejections) can be
+// read side by side. -json emits the whole report as one JSON object.
+//
+// Typical sessions:
+//
+//	plcload -addr 127.0.0.1:8277 -spec examples/scenarios/heterogeneous.json \
+//	        -concurrency 8 -duration 30s -hit-ratio 0.5
+//	plcload -addr 127.0.0.1:8277 -mix mix.txt -rps 50 -requests 500 -json
+//
+// where mix.txt holds "weight path" lines:
+//
+//	4 examples/scenarios/poisson-load.json
+//	1 examples/campaigns/model-cw-grid.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plcload:", err)
+		os.Exit(2)
+	}
+	rep, err := run(cfg, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plcload:", err)
+		os.Exit(1)
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		rep.renderText(os.Stdout)
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// config is the parsed command line.
+type config struct {
+	addr        string
+	entries     []specEntry
+	requests    int
+	duration    time.Duration
+	concurrency int
+	rps         float64
+	maxInflight int
+	reps        int
+	hitRatio    float64
+	hotSeeds    int
+	seed        uint64
+	timeout     time.Duration
+	jsonOut     bool
+}
+
+// specEntry is one weighted workload item.
+type specEntry struct {
+	path     string
+	weight   int
+	raw      []byte
+	campaign bool
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("plcload", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8277", "plcsrv address (host:port or URL)")
+		specPath    = fs.String("spec", "", "single scenario/campaign JSON file to submit")
+		mixPath     = fs.String("mix", "", "weighted spec-mix file: \"weight path\" lines, paths relative to the file")
+		requests    = fs.Int("requests", 0, "stop after this many submissions (0 = until -duration)")
+		duration    = fs.Duration("duration", 10*time.Second, "stop after this long (0 = until -requests)")
+		concurrency = fs.Int("concurrency", 4, "closed-loop workers (ignored when -rps > 0)")
+		rps         = fs.Float64("rps", 0, "open-loop arrival rate in requests/second (0 = closed loop)")
+		maxInflight = fs.Int("max-inflight", 256, "open-loop cap on outstanding requests; arrivals beyond it are counted as shed")
+		reps        = fs.Int("reps", 3, "replications per scenario submission")
+		hitRatio    = fs.Float64("hit-ratio", 0, "probability a request reuses a hot-pool seed (cache-hit candidates), in [0,1]")
+		hotSeeds    = fs.Int("hot-seeds", 8, "size of the hot seed pool")
+		seed        = fs.Uint64("seed", 1, "base seed of the jitter stream (the whole workload is a function of it)")
+		timeout     = fs.Duration("timeout", 60*time.Second, "per-request budget, submission through terminal event")
+		jsonOut     = fs.Bool("json", false, "emit the report as JSON on stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	cfg := config{
+		addr: *addr, requests: *requests, duration: *duration,
+		concurrency: *concurrency, rps: *rps, maxInflight: *maxInflight,
+		reps: *reps, hitRatio: *hitRatio, hotSeeds: *hotSeeds,
+		seed: *seed, timeout: *timeout, jsonOut: *jsonOut,
+	}
+	if (*specPath == "") == (*mixPath == "") {
+		return config{}, fmt.Errorf("exactly one of -spec or -mix is required")
+	}
+	var err error
+	if *specPath != "" {
+		cfg.entries, err = loadEntries([]weighted{{1, *specPath}})
+	} else {
+		var items []weighted
+		if items, err = parseMixFile(*mixPath); err == nil {
+			cfg.entries, err = loadEntries(items)
+		}
+	}
+	if err != nil {
+		return config{}, err
+	}
+	return cfg, cfg.validate()
+}
+
+func (c config) validate() error {
+	if c.requests <= 0 && c.duration <= 0 {
+		return fmt.Errorf("need -requests > 0 or -duration > 0")
+	}
+	if c.hitRatio < 0 || c.hitRatio > 1 {
+		return fmt.Errorf("-hit-ratio %g outside [0,1]", c.hitRatio)
+	}
+	if c.hotSeeds <= 0 {
+		return fmt.Errorf("-hot-seeds must be positive")
+	}
+	if c.rps == 0 && c.concurrency <= 0 {
+		return fmt.Errorf("-concurrency must be positive in closed-loop mode")
+	}
+	if c.rps > 0 && c.maxInflight <= 0 {
+		return fmt.Errorf("-max-inflight must be positive in open-loop mode")
+	}
+	if c.reps <= 0 {
+		return fmt.Errorf("-reps must be positive")
+	}
+	return nil
+}
+
+// weighted is a pre-load mix line.
+type weighted struct {
+	weight int
+	path   string
+}
+
+// parseMixFile reads "weight path" lines; '#' starts a comment, blank
+// lines are skipped, paths are resolved relative to the mix file.
+func parseMixFile(path string) ([]weighted, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dir := filepath.Dir(path)
+	var out []weighted
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"weight path\", got %q", path, line, sc.Text())
+		}
+		w, err := strconv.Atoi(fields[0])
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("%s:%d: weight %q must be a positive integer", path, line, fields[0])
+		}
+		p := fields[1]
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(dir, p)
+		}
+		out = append(out, weighted{w, p})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: empty mix", path)
+	}
+	return out, nil
+}
+
+// loadEntries reads each mix item and classifies it: a top-level
+// "base" object marks a campaign (the examples/campaigns schema),
+// anything else is treated as a scenario spec.
+func loadEntries(items []weighted) ([]specEntry, error) {
+	out := make([]specEntry, 0, len(items))
+	for _, it := range items {
+		raw, err := os.ReadFile(it.path)
+		if err != nil {
+			return nil, err
+		}
+		var probe struct {
+			Base json.RawMessage `json:"base"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("%s: %w", it.path, err)
+		}
+		out = append(out, specEntry{
+			path: it.path, weight: it.weight, raw: raw,
+			campaign: len(probe.Base) > 0,
+		})
+	}
+	return out, nil
+}
+
+// Report is the run summary, printed as text or JSON.
+type Report struct {
+	Requests  int     `json:"requests"`
+	Completed int     `json:"completed"`
+	Cached    int     `json:"cached"`
+	Coalesced int     `json:"coalesced"`
+	Rejected  int     `json:"rejected"`
+	Failed    int     `json:"failed"`
+	Errors    int     `json:"errors"`
+	Shed      int     `json:"shed"`
+	DurationS float64 `json:"duration_s"`
+	// AchievedRPS counts submissions actually issued (shed excluded).
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Latency summarises client-observed end-to-end times (submission
+	// to terminal event; a cached answer is one round trip) for requests
+	// that reached a terminal state.
+	Latency LatencySummary `json:"latency_ms"`
+	// ServerDelta maps /metrics counter families to their per-run
+	// increase, summed over label sets. Empty when a scrape failed.
+	ServerDelta map[string]float64 `json:"server_delta,omitempty"`
+}
+
+// LatencySummary holds millisecond percentiles over the run.
+type LatencySummary struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+func (r *Report) renderText(w io.Writer) {
+	fmt.Fprintf(w, "plcload: %d requests in %.1fs (%.1f req/s)\n", r.Requests, r.DurationS, r.AchievedRPS)
+	fmt.Fprintf(w, "  completed %d  cached %d  coalesced %d  rejected %d  failed %d  errors %d  shed %d\n",
+		r.Completed, r.Cached, r.Coalesced, r.Rejected, r.Failed, r.Errors, r.Shed)
+	fmt.Fprintf(w, "  latency ms: p50 %.2f  p90 %.2f  p99 %.2f  mean %.2f  max %.2f\n",
+		r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Mean, r.Latency.Max)
+	if len(r.ServerDelta) > 0 {
+		names := make([]string, 0, len(r.ServerDelta))
+		for name := range r.ServerDelta {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "  server:")
+		for _, name := range names {
+			fmt.Fprintf(w, " %s +%g", name, r.ServerDelta[name])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// deltaFamilies are the counter families whose before/after difference
+// the report prints (summed across label sets).
+var deltaFamilies = []string{
+	"plcsrv_submissions_total",
+	"plcsrv_jobs_finished_total",
+	"plcsrv_cache_hits_total",
+	"plcsrv_coalesced_total",
+	"plcsrv_rejected_total",
+}
+
+// run executes the configured load and returns the report. Warnings
+// (failed scrapes) go to warnw; the report goes to the caller.
+func run(cfg config, warnw io.Writer) (*Report, error) {
+	base := cfg.addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	before, err := scrapeMetrics(base)
+	if err != nil {
+		fmt.Fprintf(warnw, "plcload: pre-run /metrics scrape failed: %v\n", err)
+	}
+
+	g := &generator{cfg: cfg, base: base, client: &http.Client{}}
+	g.hotPool = make([]uint64, cfg.hotSeeds)
+	src := rng.New(cfg.seed)
+	for i := range g.hotPool {
+		g.hotPool[i] = src.Split(uint64(i)).Uint64()
+	}
+
+	start := time.Now()
+	if cfg.rps > 0 {
+		g.openLoop()
+	} else {
+		g.closedLoop()
+	}
+	elapsed := time.Since(start)
+
+	rep := g.report(elapsed)
+	after, err := scrapeMetrics(base)
+	if err != nil {
+		fmt.Fprintf(warnw, "plcload: post-run /metrics scrape failed: %v\n", err)
+	}
+	if before != nil && after != nil {
+		rep.ServerDelta = map[string]float64{}
+		for _, name := range deltaFamilies {
+			rep.ServerDelta[name] = familySum(after, name) - familySum(before, name)
+		}
+	}
+	return rep, nil
+}
+
+// scrapeMetrics fetches and parses GET /metrics.
+func scrapeMetrics(base string) (map[string]*obs.ParsedFamily, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// familySum adds every plain sample of one family (0 when absent).
+func familySum(fams map[string]*obs.ParsedFamily, name string) float64 {
+	f := fams[name]
+	if f == nil {
+		return 0
+	}
+	var sum float64
+	for _, s := range f.Samples {
+		if s.Name == name { // skip _bucket/_sum/_count expansions
+			sum += s.Value
+		}
+	}
+	return sum
+}
+
+// generator owns the shared run state.
+type generator struct {
+	cfg     config
+	base    string
+	client  *http.Client
+	hotPool []uint64
+
+	issued atomic.Int64 // submissions started (ticket counter)
+
+	mu        sync.Mutex
+	latencies []float64 // milliseconds, terminal requests only
+	completed int
+	cached    int
+	coalesced int
+	rejected  int
+	failed    int
+	errors    int
+	shed      int
+}
+
+// ticket claims the next request index, or false when the -requests
+// budget is exhausted.
+func (g *generator) ticket() (int, bool) {
+	n := g.issued.Add(1) - 1
+	if g.cfg.requests > 0 && n >= int64(g.cfg.requests) {
+		g.issued.Add(-1)
+		return 0, false
+	}
+	return int(n), true
+}
+
+// deadline returns the run's wall-clock cutoff (zero = none).
+func (g *generator) deadline(start time.Time) time.Time {
+	if g.cfg.duration <= 0 {
+		return time.Time{}
+	}
+	return start.Add(g.cfg.duration)
+}
+
+// closedLoop runs -concurrency workers, each submitting again the
+// moment its previous request reaches a terminal state.
+func (g *generator) closedLoop() {
+	start := time.Now()
+	stop := g.deadline(start)
+	var wg sync.WaitGroup
+	for w := 0; w < g.cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if !stop.IsZero() && !time.Now().Before(stop) {
+					return
+				}
+				idx, ok := g.ticket()
+				if !ok {
+					return
+				}
+				g.doRequest(idx)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// openLoop submits on a fixed schedule at -rps, independent of
+// completions; arrivals past -max-inflight are shed.
+func (g *generator) openLoop() {
+	start := time.Now()
+	stop := g.deadline(start)
+	interval := time.Duration(float64(time.Second) / g.cfg.rps)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	var inflight atomic.Int64
+	var wg sync.WaitGroup
+	for {
+		<-ticker.C
+		if !stop.IsZero() && !time.Now().Before(stop) {
+			break
+		}
+		idx, ok := g.ticket()
+		if !ok {
+			break
+		}
+		if inflight.Load() >= int64(g.cfg.maxInflight) {
+			// The ticket is burned, not returned: indices stay unique so
+			// jittered seeds never collide by accident.
+			g.mu.Lock()
+			g.shed++
+			g.mu.Unlock()
+			continue
+		}
+		inflight.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			g.doRequest(idx)
+		}()
+	}
+	wg.Wait()
+}
+
+// requestSeed derives request idx's seed: hot-pool with probability
+// -hit-ratio, unique otherwise. Deterministic in (cfg.seed, idx).
+func (g *generator) requestSeed(idx int) uint64 {
+	r := rng.New(g.cfg.seed).Split(1<<32 + uint64(idx))
+	if float64(r.Intn(1_000_000)) < g.cfg.hitRatio*1_000_000 {
+		return g.hotPool[r.Intn(len(g.hotPool))]
+	}
+	return r.Uint64()
+}
+
+// pickEntry selects the workload item for request idx by weight,
+// deterministically in (cfg.seed, idx).
+func (g *generator) pickEntry(idx int) specEntry {
+	if len(g.cfg.entries) == 1 {
+		return g.cfg.entries[0]
+	}
+	total := 0
+	for _, e := range g.cfg.entries {
+		total += e.weight
+	}
+	r := rng.New(g.cfg.seed).Split(2<<32 + uint64(idx))
+	n := r.Intn(total)
+	for _, e := range g.cfg.entries {
+		if n < e.weight {
+			return e
+		}
+		n -= e.weight
+	}
+	return g.cfg.entries[len(g.cfg.entries)-1]
+}
+
+// jitterSpec rewrites the entry's seed field (base.seed for campaigns)
+// and returns the document ready for embedding in a request body. All
+// other numbers pass through as json.Number, byte-exact.
+func jitterSpec(e specEntry, seed uint64) (map[string]any, error) {
+	dec := json.NewDecoder(bytes.NewReader(e.raw))
+	dec.UseNumber()
+	var doc map[string]any
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", e.path, err)
+	}
+	if e.campaign {
+		inner, ok := doc["base"].(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("%s: campaign \"base\" is not an object", e.path)
+		}
+		inner["seed"] = seed
+	} else {
+		doc["seed"] = seed
+	}
+	return doc, nil
+}
+
+// doRequest submits one job and follows it to a terminal state,
+// recording the outcome and the client-observed latency.
+func (g *generator) doRequest(idx int) {
+	e := g.pickEntry(idx)
+	doc, err := jitterSpec(e, g.requestSeed(idx))
+	if err != nil {
+		g.record(outcomeError, 0, false, false)
+		return
+	}
+	var body any
+	path := "/v1/jobs"
+	if e.campaign {
+		body = map[string]any{"campaign": doc}
+		path = "/v1/campaigns"
+	} else {
+		body = map[string]any{"spec": doc, "reps": g.cfg.reps}
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		g.record(outcomeError, 0, false, false)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.timeout)
+	defer cancel()
+	start := time.Now()
+	req, _ := http.NewRequestWithContext(ctx, "POST", g.base+path, bytes.NewReader(payload))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.record(outcomeError, 0, false, false)
+		return
+	}
+	var sub struct {
+		ID        string `json:"id"`
+		Cached    bool   `json:"cached"`
+		Coalesced bool   `json:"coalesced"`
+	}
+	decErr := json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		g.record(outcomeRejected, 0, false, false)
+		return
+	case resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted:
+		g.record(outcomeError, 0, false, false)
+		return
+	case decErr != nil:
+		g.record(outcomeError, 0, false, false)
+		return
+	}
+	if sub.Cached {
+		g.record(outcomeDone, time.Since(start), true, false)
+		return
+	}
+	state, err := g.awaitTerminal(ctx, path, sub.ID)
+	lat := time.Since(start)
+	switch {
+	case err != nil:
+		g.record(outcomeError, 0, false, false)
+	case state == "done":
+		g.record(outcomeDone, lat, false, sub.Coalesced)
+	default:
+		g.record(outcomeFailed, lat, false, false)
+	}
+}
+
+// awaitTerminal follows the job's NDJSON event stream to its terminal
+// line.
+func (g *generator) awaitTerminal(ctx context.Context, path, id string) (string, error) {
+	req, _ := http.NewRequestWithContext(ctx, "GET", g.base+path+"/"+id+"/events", nil)
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET events: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return "", err
+		}
+		switch ev.State {
+		case "done", "failed", "cancelled", "timed_out":
+			return ev.State, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("event stream for %s ended without a terminal state", id)
+}
+
+type outcome int
+
+const (
+	outcomeDone outcome = iota
+	outcomeFailed
+	outcomeRejected
+	outcomeError
+)
+
+func (g *generator) record(o outcome, lat time.Duration, cached, coalesced bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch o {
+	case outcomeDone:
+		g.completed++
+		g.latencies = append(g.latencies, float64(lat)/float64(time.Millisecond))
+		if cached {
+			g.cached++
+		}
+		if coalesced {
+			g.coalesced++
+		}
+	case outcomeFailed:
+		g.failed++
+		g.latencies = append(g.latencies, float64(lat)/float64(time.Millisecond))
+	case outcomeRejected:
+		g.rejected++
+	case outcomeError:
+		g.errors++
+	}
+}
+
+func (g *generator) report(elapsed time.Duration) *Report {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rep := &Report{
+		Requests:  int(g.issued.Load()) - g.shed,
+		Completed: g.completed, Cached: g.cached, Coalesced: g.coalesced,
+		Rejected: g.rejected, Failed: g.failed, Errors: g.errors, Shed: g.shed,
+		DurationS: elapsed.Seconds(),
+	}
+	if rep.DurationS > 0 {
+		rep.AchievedRPS = float64(rep.Requests) / rep.DurationS
+	}
+	rep.Latency = summarize(g.latencies)
+	return rep
+}
+
+// summarize computes percentiles over a copy of the samples.
+func summarize(samples []float64) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return LatencySummary{
+		P50:  percentile(s, 0.50),
+		P90:  percentile(s, 0.90),
+		P99:  percentile(s, 0.99),
+		Mean: sum / float64(len(s)),
+		Max:  s[len(s)-1],
+	}
+}
+
+// percentile reads the nearest-rank percentile from sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

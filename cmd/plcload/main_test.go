@@ -1,0 +1,222 @@
+package main
+
+import (
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// startServer boots an in-process serving stack behind httptest, the
+// same handler plcsrv mounts, and returns its base address (host:port,
+// no scheme — exercising the scheme-defaulting path).
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := serve.New(serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return hs.Listener.Addr().String()
+}
+
+// writeSpec drops a tiny scenario file and returns its path.
+func writeSpec(t *testing.T, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	spec := `{"name": "load-smoke", "sim_time_us": 1e6, "stations": [{"count": 2}]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeCampaign drops a tiny two-point campaign file.
+func writeCampaign(t *testing.T, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	camp := `{
+	  "name": "load-camp",
+	  "base": {"name": "load-camp-base", "sim_time_us": 1e6, "stations": [{"count": 1}]},
+	  "axes": [{"path": "n", "values": [2, 3]}],
+	  "reps": 1
+	}`
+	if err := os.WriteFile(path, []byte(camp), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseConfig(addr string) config {
+	return config{
+		addr:        addr,
+		requests:    6,
+		duration:    time.Minute,
+		concurrency: 2,
+		maxInflight: 16,
+		reps:        1,
+		hotSeeds:    1,
+		seed:        1,
+		timeout:     30 * time.Second,
+	}
+}
+
+func loadSingle(t *testing.T, path string) []specEntry {
+	t.Helper()
+	entries, err := loadEntries([]weighted{{1, path}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+// TestClosedLoopHotMix pins the cache-hit knob: with -hit-ratio 1 and
+// one hot seed, every request is the same job, so exactly one
+// simulation runs and the rest answer from the cache or coalesce —
+// visible both client-side and in the scraped server deltas.
+func TestClosedLoopHotMix(t *testing.T) {
+	addr := startServer(t)
+	cfg := baseConfig(addr)
+	cfg.hitRatio = 1
+	cfg.entries = loadSingle(t, writeSpec(t, t.TempDir(), "s.json"))
+
+	rep, err := run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 6 || rep.Completed != 6 || rep.Errors != 0 || rep.Failed != 0 {
+		t.Fatalf("requests/completed/errors/failed = %d/%d/%d/%d, want 6/6/0/0",
+			rep.Requests, rep.Completed, rep.Errors, rep.Failed)
+	}
+	if rep.Cached+rep.Coalesced < 4 {
+		t.Errorf("hit-ratio 1 with one hot seed: cached %d + coalesced %d, want ≥ 4", rep.Cached, rep.Coalesced)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.Max < rep.Latency.P50 {
+		t.Errorf("implausible latency summary: %+v", rep.Latency)
+	}
+	if rep.ServerDelta == nil {
+		t.Fatal("server deltas missing: /metrics scrape did not happen")
+	}
+	if d := rep.ServerDelta["plcsrv_submissions_total"]; d != 6 {
+		t.Errorf("server submissions delta = %v, want 6", d)
+	}
+	if rep.ServerDelta["plcsrv_cache_hits_total"]+rep.ServerDelta["plcsrv_coalesced_total"] < 4 {
+		t.Errorf("server-side hits+coalesces = %v+%v, want ≥ 4",
+			rep.ServerDelta["plcsrv_cache_hits_total"], rep.ServerDelta["plcsrv_coalesced_total"])
+	}
+}
+
+// TestColdSeedsAllMiss pins the other end of the knob: hit-ratio 0
+// gives every request a unique seed, so nothing is answered from the
+// cache.
+func TestColdSeedsAllMiss(t *testing.T) {
+	addr := startServer(t)
+	cfg := baseConfig(addr)
+	cfg.requests = 4
+	cfg.entries = loadSingle(t, writeSpec(t, t.TempDir(), "s.json"))
+
+	rep, err := run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 4 || rep.Cached != 0 || rep.Coalesced != 0 {
+		t.Fatalf("completed/cached/coalesced = %d/%d/%d, want 4/0/0",
+			rep.Completed, rep.Cached, rep.Coalesced)
+	}
+	if d := rep.ServerDelta["plcsrv_cache_hits_total"]; d != 0 {
+		t.Errorf("server cache-hit delta = %v, want 0 with unique seeds", d)
+	}
+}
+
+// TestMixWithCampaign pins the weighted-mix path end to end: a mix
+// file referencing a scenario and a campaign (relative paths, comments)
+// parses, both kinds submit to their endpoints, and all requests reach
+// a terminal done state.
+func TestMixWithCampaign(t *testing.T) {
+	addr := startServer(t)
+	dir := t.TempDir()
+	writeSpec(t, dir, "s.json")
+	writeCampaign(t, dir, "c.json")
+	mix := filepath.Join(dir, "mix.txt")
+	os.WriteFile(mix, []byte("# smoke mix\n3 s.json\n1 c.json\n"), 0o644)
+
+	items, err := parseMixFile(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := loadEntries(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].campaign || !entries[1].campaign {
+		t.Fatalf("mix classification wrong: %+v", entries)
+	}
+
+	cfg := baseConfig(addr)
+	cfg.requests = 8
+	cfg.entries = entries
+	rep, err := run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 8 || rep.Errors != 0 {
+		t.Fatalf("completed/errors = %d/%d, want 8/0", rep.Completed, rep.Errors)
+	}
+}
+
+// TestOpenLoop pins the -rps discipline: a short fixed-rate run issues
+// at least one request and finishes every one it issued.
+func TestOpenLoop(t *testing.T) {
+	addr := startServer(t)
+	cfg := baseConfig(addr)
+	cfg.requests = 0
+	cfg.duration = 400 * time.Millisecond
+	cfg.rps = 50
+	cfg.hitRatio = 0.5
+	cfg.entries = loadSingle(t, writeSpec(t, t.TempDir(), "s.json"))
+
+	rep, err := run(cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("open loop issued no requests")
+	}
+	if got := rep.Completed + rep.Failed + rep.Rejected + rep.Errors; got != rep.Requests {
+		t.Errorf("outcomes %d do not account for %d requests", got, rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("open loop saw %d transport errors", rep.Errors)
+	}
+}
+
+// TestSeedJitterDeterministic pins the reproducibility claim: the
+// request→seed mapping is a function of (-seed, index) alone.
+func TestSeedJitterDeterministic(t *testing.T) {
+	g1 := &generator{cfg: config{seed: 7, hitRatio: 0.5, hotSeeds: 4}}
+	g2 := &generator{cfg: config{seed: 7, hitRatio: 0.5, hotSeeds: 4}}
+	g1.hotPool = []uint64{1, 2, 3, 4}
+	g2.hotPool = []uint64{1, 2, 3, 4}
+	for i := 0; i < 100; i++ {
+		if a, b := g1.requestSeed(i), g2.requestSeed(i); a != b {
+			t.Fatalf("seed for request %d not deterministic: %d vs %d", i, a, b)
+		}
+	}
+	seen := map[uint64]bool{}
+	g1.cfg.hitRatio = 0
+	for i := 0; i < 100; i++ {
+		s := g1.requestSeed(i)
+		if seen[s] {
+			t.Fatalf("cold seed collision at request %d", i)
+		}
+		seen[s] = true
+	}
+}

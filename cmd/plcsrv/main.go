@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,6 +60,7 @@ func main() {
 		journalDir = flag.String("journal-dir", "", "directory for the job journal; accepted jobs survive a crash and replay on restart (empty = no journal)")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job running-time limit, and the cap on per-request timeout_s (0 = none)")
 		drainTime  = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown lets running jobs finish before abandoning them to the journal")
+		pprofAddr  = flag.String("pprof-addr", "", "TCP address to serve net/http/pprof on (empty = disabled); keep it loopback-only")
 	)
 	flag.Parse()
 
@@ -79,6 +81,25 @@ func main() {
 		// run without the persistence the operator asked for.
 		fmt.Fprintln(os.Stderr, "plcsrv:", err)
 		os.Exit(1)
+	}
+
+	// pprof stays off the service mux: profiling is opt-in, on its own
+	// listener, so the API port never exposes it. The handlers are
+	// registered explicitly — nothing here touches http.DefaultServeMux.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plcsrv:", err)
+			os.Exit(1)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("plcsrv: pprof on %s/debug/pprof/\n", pln.Addr())
+		go http.Serve(pln, pmux)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

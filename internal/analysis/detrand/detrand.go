@@ -8,6 +8,9 @@
 // algorithm Go is free to change between releases, breaks that contract
 // silently. The sanctioned randomness source is repro/internal/rng
 // (frozen xoshiro256**), and the sanctioned clock is the simulated one.
+// Operational wall-clock reads (service timing, trace timelines) go
+// through repro/internal/obs, the one exempt clock owner — keeping the
+// instrumented packages themselves annotation-free.
 //
 // In the packages it is pointed at, detrand reports:
 //
@@ -16,10 +19,9 @@
 //     and Source/Rand construction alike — outside internal/rng;
 //   - any use of crypto/rand.
 //
-// Legitimate wall-clock uses (job service timing in internal/serve,
-// Retry-After estimation) carry a //plclint:allow detrand annotation
-// with a justification; an annotation that stops suppressing anything
-// is itself reported.
+// A residual legitimate direct use can carry a //plclint:allow detrand
+// annotation with a justification; an annotation that stops
+// suppressing anything is itself reported.
 package detrand
 
 import (
@@ -48,7 +50,12 @@ var forbiddenTimeFuncs = map[string]bool{
 func run(pass *analysis.Pass) error {
 	// internal/rng is the one home randomness construction is allowed;
 	// it wraps nothing today, but the exemption documents the rule.
-	if strings.HasSuffix(pass.Pkg.Path(), "internal/rng") {
+	// internal/obs is the sanctioned wall-clock owner: obs.Now/Since
+	// wrap time.Now/Since so every other instrumented package reads
+	// operational time through them instead of carrying per-call
+	// annotations.
+	p := pass.Pkg.Path()
+	if strings.HasSuffix(p, "internal/rng") || strings.HasSuffix(p, "internal/obs") {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -19,9 +19,25 @@ func TestDetrandFixture(t *testing.T) {
 // construction: a package whose import path ends in internal/rng is
 // skipped entirely.
 func TestDetrandExemptsRng(t *testing.T) {
-	pkgs, err := analysis.Load(".", "repro/internal/rng")
+	assertExempt(t, "repro/internal/rng")
+}
+
+// TestDetrandExemptsObs pins the sanctioned wall-clock owner: the obs
+// package wraps time.Now/Since behind obs.Now/Since (and marks trace
+// timelines), so it must be skipped — every other result package reads
+// operational time through it and stays annotation-free.
+func TestDetrandExemptsObs(t *testing.T) {
+	assertExempt(t, "repro/internal/obs")
+}
+
+// TestDetrandCoversServe pins the flip side of the obs exemption: with
+// serve's wall-clock reads routed through obs, internal/serve itself
+// must scan clean with zero allow annotations — a direct time.Now
+// creeping back in becomes a finding again.
+func TestDetrandCoversServe(t *testing.T) {
+	pkgs, err := analysis.Load(".", "repro/internal/serve")
 	if err != nil {
-		t.Fatalf("load internal/rng: %v", err)
+		t.Fatalf("load internal/serve: %v", err)
 	}
 	for _, pkg := range pkgs {
 		diags, err := analysis.Run(pkg, []*analysis.Analyzer{detrand.Analyzer})
@@ -29,7 +45,26 @@ func TestDetrandExemptsRng(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, d := range diags {
-			t.Errorf("unexpected diagnostic in exempt package: %s", d)
+			t.Errorf("internal/serve is expected to be detrand-clean without annotations, got: %s", d)
+		}
+	}
+}
+
+// assertExempt runs detrand over one real package and fails on any
+// diagnostic.
+func assertExempt(t *testing.T, path string) {
+	t.Helper()
+	pkgs, err := analysis.Load(".", path)
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{detrand.Analyzer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("unexpected diagnostic in exempt package %s: %s", path, d)
 		}
 	}
 }

@@ -1,0 +1,51 @@
+package obs
+
+import "testing"
+
+// BenchmarkMetricsHotPath measures the per-event instrumentation cost
+// on the serving path: one counter increment plus one latency-histogram
+// observation, which is what recording a finished job costs.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	r := NewRegistry()
+	c := r.NewCounterVec("bench_jobs_total", "jobs", "kind", "state").With("scenario", "done")
+	h := r.NewHistogramVec("bench_latency_seconds", "latency", LatencyBuckets(), "kind").With("scenario")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(0.0173)
+	}
+}
+
+// BenchmarkMetricsHotPathParallel exercises the same pair under
+// contention from all procs — the shape a busy server produces.
+func BenchmarkMetricsHotPathParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.NewCounter("bench_par_total", "par")
+	h := r.NewHistogram("bench_par_seconds", "par", LatencyBuckets())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+			h.Observe(0.0173)
+		}
+	})
+}
+
+// BenchmarkRender measures a full /metrics scrape over a registry of
+// realistic size.
+func BenchmarkRender(b *testing.B) {
+	r, _, _ := testRegistry()
+	var buf discard
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Render(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

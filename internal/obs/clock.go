@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Now reads the wall clock. internal/obs is the plclint-detrand-
+// sanctioned owner of wall-clock time: result-producing packages that
+// need operational timestamps (job service timing, trace timelines,
+// Retry-After estimation) call obs.Now instead of time.Now, keeping
+// the determinism analyzer's guarantee auditable — a time.Now anywhere
+// else in a result package is a finding, not a judgment call.
+//
+// Nothing read here may ever feed a result fingerprint or a rendered
+// report; obs timestamps are operational metadata only.
+func Now() time.Time { return time.Now() }
+
+// Since returns the wall-clock time elapsed since t. See Now.
+func Since(t time.Time) time.Duration { return time.Since(t) }
+
+// A Stage is one marked point of a Timeline.
+type Stage struct {
+	Name string
+	At   time.Time
+}
+
+// A Timeline records a bounded sequence of named wall-clock marks —
+// the lifecycle trace of one job (accepted → queued → running →
+// batches → terminal). It is safe for concurrent use; the zero value
+// is ready.
+type Timeline struct {
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// timelineCap bounds a timeline's length so a pathological caller
+// cannot grow one without bound; marks past the cap are dropped (the
+// terminal mark always lands because callers mark a fixed stage set).
+const timelineCap = 64
+
+// Mark appends a stage at the current wall-clock time and returns that
+// time.
+func (t *Timeline) Mark(name string) time.Time {
+	now := Now()
+	t.MarkAt(name, now)
+	return now
+}
+
+// MarkAt appends a stage at an explicit time (for callers that already
+// hold a Now() read).
+func (t *Timeline) MarkAt(name string, at time.Time) {
+	t.mu.Lock()
+	if len(t.stages) < timelineCap {
+		t.stages = append(t.stages, Stage{Name: name, At: at})
+	}
+	t.mu.Unlock()
+}
+
+// Stages returns a copy of the marks in order.
+func (t *Timeline) Stages() []Stage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Stage(nil), t.stages...)
+}
+
+// Between returns the duration between the first marks named from and
+// to (ok=false when either is missing or out of order).
+func (t *Timeline) Between(from, to string) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var f, g *time.Time
+	for i := range t.stages {
+		switch {
+		case f == nil && t.stages[i].Name == from:
+			f = &t.stages[i].At
+		case f != nil && g == nil && t.stages[i].Name == to:
+			g = &t.stages[i].At
+		}
+	}
+	if f == nil || g == nil {
+		return 0, false
+	}
+	return g.Sub(*f), true
+}

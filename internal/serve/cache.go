@@ -48,6 +48,13 @@ type cache struct {
 	// flight outside the lock.
 	consecDiskFailures atomic.Int64
 	totalDiskFailures  atomic.Int64
+
+	// diskOccupancy tracks the disk tier's byte count: seeded by a
+	// directory walk at startup, then maintained incrementally (each
+	// successful store adds the delta against the file it replaced).
+	// Atomic for the same reason as the failure counters — /v1/stats
+	// and /metrics read it while writes are in flight.
+	diskOccupancy atomic.Int64
 }
 
 // newCache builds the cache and, when a persistence directory is
@@ -67,7 +74,43 @@ func newCache(max, maxBytes int, dir string, faults *Faults) (*cache, error) {
 		probe.Close() //plclint:allow journalerr -- writability probe, deleted on the next line; nothing durable is in it
 		os.Remove(name)
 	}
-	return &cache{max: max, maxBytes: maxBytes, dir: dir, faults: faults, ll: list.New(), items: make(map[string]*list.Element)}, nil
+	c := &cache{max: max, maxBytes: maxBytes, dir: dir, faults: faults, ll: list.New(), items: make(map[string]*list.Element)}
+	if dir != "" {
+		c.diskOccupancy.Store(diskDirBytes(dir))
+	}
+	return c, nil
+}
+
+// diskDirBytes sums the persisted results' sizes — the disk tier's
+// startup occupancy. Best-effort: entries that vanish mid-walk are
+// skipped, temp files are not counted.
+func diskDirBytes(dir string) int64 {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, de := range ents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		if info, err := de.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// bytesUsed returns the memory tier's resident byte count.
+func (c *cache) bytesUsed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// diskBytes returns the disk tier's byte occupancy (0 without a dir).
+func (c *cache) diskBytes() int64 {
+	return c.diskOccupancy.Load()
 }
 
 // diskFailures snapshots the disk-write failure counters.
@@ -209,10 +252,17 @@ func (c *cache) storeDisk(e entry) {
 		}
 		return
 	}
+	// Occupancy delta: stat the file this rename replaces (usually
+	// absent) before it disappears, so rewrites don't double-count.
+	var replaced int64
+	if info, err := os.Stat(c.path(e.key)); err == nil {
+		replaced = info.Size()
+	}
 	if err := os.Rename(name, c.path(e.key)); err != nil {
 		os.Remove(name)
 		drop(err)
 		return
 	}
+	c.diskOccupancy.Add(int64(len(e.json)) - replaced)
 	c.consecDiskFailures.Store(0)
 }

@@ -44,6 +44,14 @@ type SubmitResponse struct {
 type StatsResponse struct {
 	Counters
 	CacheEntries int `json:"cache_entries"`
+	// CacheBytes is the in-memory result cache's resident byte count;
+	// DiskCacheBytes the disk tier's occupancy (0 without -cache-dir).
+	CacheBytes     int   `json:"cache_bytes"`
+	DiskCacheBytes int64 `json:"disk_cache_bytes"`
+	// JournalLiveRecords counts accepted jobs the journal still owes a
+	// terminal record for (0 without -journal-dir) — the replay set a
+	// crash right now would leave behind.
+	JournalLiveRecords int `json:"journal_live_records"`
 }
 
 // Event is one line of the GET /v1/jobs/{id}/events and
@@ -62,6 +70,9 @@ type Event struct {
 	PointsTotal int `json:"points_total,omitempty"`
 	// Error is set on terminal failed/cancelled states.
 	Error string `json:"error,omitempty"`
+	// Trace carries the job's full lifecycle timeline on the terminal
+	// event line only (absent on progress lines).
+	Trace []TraceStage `json:"trace,omitempty"`
 }
 
 // Handler returns the server's HTTP API:
@@ -85,7 +96,10 @@ type Event struct {
 //	GET    /v1/campaigns/{id}/events  NDJSON per-replication and
 //	                            per-point progress
 //	DELETE /v1/campaigns/{id}   cancel a queued or running campaign
-//	GET    /v1/stats            counters + cache occupancy
+//	GET    /v1/stats            counters + cache/journal occupancy
+//	GET    /metrics             Prometheus text exposition (same counts
+//	                            as /v1/stats, plus queue/latency
+//	                            histograms and occupancy gauges)
 //	GET    /healthz             liveness probe (200 while the process runs)
 //	GET    /readyz              readiness probe (503 during journal
 //	                            replay, queue saturation, or after
@@ -107,6 +121,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -416,7 +431,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	c, entries := s.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{Counters: c, CacheEntries: entries})
+	resp := StatsResponse{
+		Counters:       c,
+		CacheEntries:   entries,
+		CacheBytes:     s.cache.bytesUsed(),
+		DiskCacheBytes: s.cache.diskBytes(),
+	}
+	if s.journal != nil {
+		resp.JournalLiveRecords = s.journal.liveCount()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleEvents streams the job's lifecycle as NDJSON, one Event per
@@ -479,6 +503,11 @@ func (j *Job) events(ctx context.Context) <-chan Event {
 				PointsDone: st.PointsDone, PointsTotal: st.PointsTotal, Error: st.Error}
 			if last == nil || st.State != last.State {
 				e.Event = "state"
+			}
+			if e.State.Terminal() {
+				// The stream's last line carries the full timeline, so a
+				// client that only followed events still gets the trace.
+				e.Trace = st.Trace
 			}
 			select {
 			case ch <- e:

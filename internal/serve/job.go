@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -32,6 +33,53 @@ const (
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateTimedOut
+}
+
+// Trace stage names. The lifecycle stages a job's timeline records:
+// accepted (admission), queued (landed on the queue; absent for
+// cache-hit answers), running (a worker picked it up), first_batch
+// (first progress callback — time-to-first-result), then the terminal
+// state name verbatim.
+const (
+	traceAccepted   = "accepted"
+	traceQueued     = "queued"
+	traceRunning    = "running"
+	traceFirstBatch = "first_batch"
+)
+
+// TraceStage is one step of a job's trace timeline as served on
+// /v1/jobs/{id}, /v1/campaigns/{id} and terminal NDJSON event lines.
+// Purely operational metadata: never part of a result payload or a
+// fingerprint.
+type TraceStage struct {
+	// Stage is the lifecycle stage name ("accepted", "queued",
+	// "running", "first_batch", or a terminal state).
+	Stage string `json:"stage"`
+	// At is the wall-clock time the stage was reached.
+	At time.Time `json:"at"`
+	// DeltaMS is the time since the previous stage, in milliseconds.
+	DeltaMS float64 `json:"delta_ms"`
+	// ElapsedMS is the time since acceptance, in milliseconds.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// traceStages converts timeline marks to the wire form.
+func traceStages(stages []obs.Stage) []TraceStage {
+	if len(stages) == 0 {
+		return nil
+	}
+	out := make([]TraceStage, len(stages))
+	for i, st := range stages {
+		out[i] = TraceStage{
+			Stage:     st.Name,
+			At:        st.At,
+			ElapsedMS: st.At.Sub(stages[0].At).Seconds() * 1e3,
+		}
+		if i > 0 {
+			out[i].DeltaMS = st.At.Sub(stages[i-1].At).Seconds() * 1e3
+		}
+	}
+	return out
 }
 
 // Result is the JSON a finished job serves: the aggregated replication
@@ -121,6 +169,11 @@ type Status struct {
 	// Error carries the failure or cancellation cause in terminal
 	// states.
 	Error string `json:"error,omitempty"`
+	// Trace is the job's lifecycle timeline (accepted → queued →
+	// running → first_batch → terminal), with per-stage and cumulative
+	// durations. Operational metadata only — results and their
+	// fingerprints never include it.
+	Trace []TraceStage `json:"trace,omitempty"`
 }
 
 // Job is one admitted study — a scenario replication study, or (when
@@ -141,6 +194,9 @@ type Job struct {
 	// timeout is the job's effective deadline, armed when it starts
 	// running (queue wait does not count). Zero means none.
 	timeout time.Duration
+	// trace records the job's lifecycle timeline. It has its own leaf
+	// mutex, so stages can be marked with or without mu held.
+	trace obs.Timeline
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -151,6 +207,7 @@ type Job struct {
 	pointsTotal int
 	cached      bool
 	replayed    bool
+	batched     bool   // first progress batch already trace-marked
 	result      []byte // verbatim response bytes of /result (terminal Done)
 	text        string // CLI-identical text rendering (terminal Done)
 	errMsg      string
@@ -160,12 +217,14 @@ type Job struct {
 func newJob(id, key string, c *scenario.Compiled, reps int) *Job {
 	j := &Job{id: id, key: key, compiled: c, reps: reps, state: StateQueued}
 	j.cond = sync.NewCond(&j.mu)
+	j.trace.Mark(traceAccepted)
 	return j
 }
 
 func newCampaignJob(id, key string, c *campaign.Compiled) *Job {
 	j := &Job{id: id, key: key, camp: c, state: StateQueued}
 	j.cond = sync.NewCond(&j.mu)
+	j.trace.Mark(traceAccepted)
 	return j
 }
 
@@ -198,6 +257,7 @@ func (j *Job) statusLocked() Status {
 		Cached:      j.cached,
 		Replayed:    j.replayed,
 		Error:       j.errMsg,
+		Trace:       traceStages(j.trace.Stages()),
 	}
 	if j.camp != nil {
 		st.Scenario = j.camp.Spec.Name
@@ -230,6 +290,7 @@ func (j *Job) Cancel() State {
 	case StateQueued:
 		j.state = StateCancelled
 		j.errMsg = "cancelled while queued"
+		j.trace.Mark(string(StateCancelled))
 		j.cond.Broadcast()
 	case StateRunning:
 		if j.cancel != nil {
@@ -272,6 +333,7 @@ func (j *Job) start(parent context.Context) (ctx context.Context, ok bool) {
 		ctx, j.cancel = context.WithCancel(parent)
 	}
 	j.state = StateRunning
+	j.trace.Mark(traceRunning)
 	if j.camp != nil {
 		// Replication totals arrive through the campaign's progress
 		// callback (they grow with adaptive batches); the point count
@@ -288,6 +350,7 @@ func (j *Job) start(parent context.Context) (ctx context.Context, ok bool) {
 // callback).
 func (j *Job) setPoints(done, total int) {
 	j.mu.Lock()
+	j.markBatchLocked()
 	j.pointsDone, j.pointsTotal = done, total
 	j.cond.Broadcast()
 	j.mu.Unlock()
@@ -297,9 +360,20 @@ func (j *Job) setPoints(done, total int) {
 // scenario.Options.Progress callback).
 func (j *Job) setProgress(done, total int) {
 	j.mu.Lock()
+	j.markBatchLocked()
 	j.done, j.total = done, total
 	j.cond.Broadcast()
 	j.mu.Unlock()
+}
+
+// markBatchLocked trace-marks the first completed batch of work (a
+// replication or a grid point) exactly once — the job's
+// time-to-first-result. j.mu must be held.
+func (j *Job) markBatchLocked() {
+	if !j.batched {
+		j.batched = true
+		j.trace.Mark(traceFirstBatch)
+	}
 }
 
 // finish moves the job to a terminal state.
@@ -311,6 +385,7 @@ func (j *Job) finish(state State, ent *entry, errMsg string) {
 	}
 	j.state = state
 	j.errMsg = errMsg
+	j.trace.Mark(string(state))
 	if ent != nil {
 		j.result, j.text = ent.json, ent.text
 		j.done = j.total
@@ -336,6 +411,7 @@ func (j *Job) completeFromCache(ent entry) {
 	defer j.mu.Unlock()
 	j.state = StateDone
 	j.cached = true
+	j.trace.Mark(string(StateDone))
 	j.result, j.text = ent.json, ent.text
 	if j.camp != nil {
 		// GridSize, not len(Points): a cache-hit campaign job carries

@@ -319,6 +319,14 @@ func (l *journal) rewriteLocked() error {
 	return nil
 }
 
+// liveCount returns the number of accepted jobs without a terminal
+// record yet — what a crash right now would replay.
+func (l *journal) liveCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.live)
+}
+
 // failures snapshots the consecutive and total write-failure counts.
 func (l *journal) failures() (consecutive, total int64) {
 	l.mu.Lock()

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/scenario"
 )
@@ -130,7 +131,9 @@ var ErrQueueFull = errors.New("serve: job queue full")
 var ErrClosed = errors.New("serve: server closed")
 
 // Counters are the server's monotonic event counts, exposed at
-// /v1/stats.
+// /v1/stats. They are a compatibility view derived in Stats() from the
+// obs metric registry (the /metrics truth source), so the two surfaces
+// report the same events by construction.
 type Counters struct {
 	// Submissions counts every accepted POST (including cached and
 	// coalesced answers).
@@ -193,6 +196,7 @@ type Server struct {
 	cache   *cache
 	journal *journal // nil without JournalDir
 	faults  *Faults  // nil in production
+	metrics *metrics // event counters, latency histograms, gauges
 
 	ctx       context.Context
 	cancelAll context.CancelFunc
@@ -209,7 +213,6 @@ type Server struct {
 	order      []string        // IDs in submission order (listing)
 	inflight   map[string]*Job // fingerprint → queued/running job
 	predict    map[string]*predictFlight
-	counters   Counters
 	svcRuns    int64         // jobs that actually executed (service-time sample size)
 	svcTotal   time.Duration // summed service time of those jobs
 
@@ -266,6 +269,7 @@ func New(cfg Config) (*Server, error) {
 		predict:   make(map[string]*predictFlight),
 		queue:     make(chan *Job, cfg.QueueDepth),
 	}
+	s.metrics = newMetrics(s)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -413,16 +417,17 @@ func (s *Server) SubmitTimeout(spec scenario.Spec, reps int, timeout time.Durati
 		s.mu.Unlock()
 		return nil, false, false, ErrClosed
 	}
-	s.counters.Submissions++
 
 	if hit {
-		s.counters.CacheHits++
+		s.metrics.subScenario.Inc()
+		s.metrics.cacheHits.Inc()
 		if disk {
-			s.counters.DiskCacheHits++
+			s.metrics.diskCacheHits.Inc()
 		}
 		j := s.newJobLocked(key, compiled, reps)
 		j.completeFromCache(ent)
 		s.mu.Unlock()
+		s.observeE2E(j)
 		return j, true, false, nil
 	}
 	// Coalesce onto an identical in-flight job — unless that job was
@@ -430,7 +435,8 @@ func (s *Server) SubmitTimeout(spec scenario.Spec, reps int, timeout time.Durati
 	// until a worker dequeues it); attaching there would answer a
 	// valid submission with 410 Gone.
 	if j, ok := s.inflight[key]; ok && !j.Status().State.Terminal() {
-		s.counters.Coalesced++
+		s.metrics.subScenario.Inc()
+		s.metrics.coalesced.Inc()
 		s.mu.Unlock()
 		return j, false, true, nil
 	}
@@ -439,12 +445,14 @@ func (s *Server) SubmitTimeout(spec scenario.Spec, reps int, timeout time.Durati
 	j.timeout = s.cfg.effectiveTimeout(timeout)
 	select {
 	case s.queue <- j:
+		s.metrics.subScenario.Inc()
+		j.trace.Mark(traceQueued)
 	default:
-		// Undo the registration: the job was never admitted.
+		// Undo the registration: the job was never admitted (nothing
+		// was counted as a submission, only as a rejection).
 		delete(s.jobs, j.id)
 		s.order = s.order[:len(s.order)-1]
-		s.counters.Rejected++
-		s.counters.Submissions--
+		s.metrics.rejected.Inc()
 		s.mu.Unlock()
 		return nil, false, false, ErrQueueFull
 	}
@@ -493,11 +501,11 @@ func (s *Server) Predict(spec scenario.Spec) (resultJSON []byte, text string, ca
 		s.mu.Unlock()
 		return nil, "", false, ErrClosed
 	}
-	s.counters.Predictions++
+	s.metrics.predictions.Inc()
 	if hit {
-		s.counters.PredictCacheHits++
+		s.metrics.predictCacheHits.Inc()
 		if disk {
-			s.counters.DiskCacheHits++
+			s.metrics.diskCacheHits.Inc()
 		}
 		s.mu.Unlock()
 		return ent.json, ent.text, true, nil
@@ -506,7 +514,7 @@ func (s *Server) Predict(spec scenario.Spec) (resultJSON []byte, text string, ca
 		// An identical solve is in flight; wait for its result instead
 		// of solving again. The leader's outcome (entry or error) is
 		// published before done closes.
-		s.counters.PredictCoalesced++
+		s.metrics.predictCoalesced.Inc()
 		s.mu.Unlock()
 		<-fl.done
 		if fl.err != nil {
@@ -527,6 +535,7 @@ func (s *Server) Predict(spec scenario.Spec) (resultJSON []byte, text string, ca
 	if f := s.faults; f != nil && f.PredictSolve != nil {
 		f.PredictSolve()
 	}
+	solveStart := obs.Now()
 	rep, err := scenario.Replications(compiled, 1, 1)
 	if err != nil {
 		fl.err = err
@@ -537,6 +546,7 @@ func (s *Server) Predict(spec scenario.Spec) (resultJSON []byte, text string, ca
 		fl.err = err
 		return nil, "", false, err
 	}
+	s.metrics.predictSolve.Observe(obs.Since(solveStart).Seconds())
 	s.cache.put(ent)
 	fl.ent = ent
 	return ent.json, ent.text, false, nil
@@ -595,22 +605,22 @@ func (s *Server) SubmitCampaignTimeout(spec campaign.Spec, timeout time.Duration
 		s.mu.Unlock()
 		return nil, false, false, ErrClosed
 	}
-	s.counters.Submissions++
-	s.counters.Campaigns++
-
 	if hit {
-		s.counters.CacheHits++
-		s.counters.CampaignCacheHits++
+		s.metrics.subCampaign.Inc()
+		s.metrics.cacheHits.Inc()
+		s.metrics.campaignCacheHits.Inc()
 		if disk {
-			s.counters.DiskCacheHits++
+			s.metrics.diskCacheHits.Inc()
 		}
 		j := s.registerLocked(newCampaignJob(s.nextIDLocked("c"), key, &campaign.Compiled{Spec: norm}))
 		j.completeFromCache(ent)
 		s.mu.Unlock()
+		s.observeE2E(j)
 		return j, true, false, nil
 	}
 	if j, ok := s.inflight[key]; ok && !j.Status().State.Terminal() {
-		s.counters.Coalesced++
+		s.metrics.subCampaign.Inc()
+		s.metrics.coalesced.Inc()
 		s.mu.Unlock()
 		return j, false, true, nil
 	}
@@ -619,12 +629,12 @@ func (s *Server) SubmitCampaignTimeout(spec campaign.Spec, timeout time.Duration
 	j.timeout = s.cfg.effectiveTimeout(timeout)
 	select {
 	case s.queue <- j:
+		s.metrics.subCampaign.Inc()
+		j.trace.Mark(traceQueued)
 	default:
 		delete(s.jobs, j.id)
 		s.order = s.order[:len(s.order)-1]
-		s.counters.Rejected++
-		s.counters.Submissions--
-		s.counters.Campaigns--
+		s.metrics.rejected.Inc()
 		s.mu.Unlock()
 		return nil, false, false, ErrQueueFull
 	}
@@ -684,7 +694,7 @@ func (s *Server) registerLocked(j *Job) *Job {
 		}
 		s.order = kept
 		if excess > 0 {
-			s.counters.RegistryOverflow++
+			s.metrics.registryOverflow.Inc()
 		}
 	}
 	return j
@@ -709,14 +719,34 @@ func (s *Server) Jobs() []*Job {
 	return out
 }
 
-// Stats snapshots the counters plus current cache occupancy. Journal
-// and disk-cache write-failure totals are folded in here — they are
-// accounted where the failure happens (no lock-order entanglement with
-// s.mu) and only merged into the snapshot.
+// Stats snapshots the counters plus current cache occupancy. The
+// Counters struct is derived from the obs metric registry — the same
+// atomics GET /metrics renders — so /v1/stats and /metrics cannot
+// disagree about an event count. Journal and disk-cache write-failure
+// totals are read from their owners directly, exactly as the registry's
+// CounterFunc views do.
 func (s *Server) Stats() (Counters, int) {
-	s.mu.Lock()
-	c := s.counters
-	s.mu.Unlock()
+	m := s.metrics
+	c := Counters{
+		Submissions:       int64(m.subScenario.Value() + m.subCampaign.Value()),
+		CacheHits:         int64(m.cacheHits.Value()),
+		DiskCacheHits:     int64(m.diskCacheHits.Value()),
+		Coalesced:         int64(m.coalesced.Value()),
+		Predictions:       int64(m.predictions.Value()),
+		PredictCacheHits:  int64(m.predictCacheHits.Value()),
+		Campaigns:         int64(m.subCampaign.Value()),
+		CampaignCacheHits: int64(m.campaignCacheHits.Value()),
+		CampaignPointHits: int64(m.campaignPointHits.Value()),
+		PredictCoalesced:  int64(m.predictCoalesced.Value()),
+		Rejected:          int64(m.rejected.Value()),
+		Completed:         m.finishedCount(StateDone),
+		Failed:            m.finishedCount(StateFailed),
+		Cancelled:         m.finishedCount(StateCancelled),
+		TimedOut:          m.finishedCount(StateTimedOut),
+		Panics:            int64(m.panics.Value()),
+		Replayed:          int64(m.replayed.Value()),
+		RegistryOverflow:  int64(m.registryOverflow.Value()),
+	}
 	if s.journal != nil {
 		_, total := s.journal.failures()
 		c.JournalWriteFailures = total
@@ -802,12 +832,12 @@ func (s *Server) worker() {
 // converts worker panics to *par.PanicError) and fails only this job;
 // the worker goroutine and every other job survive.
 func (s *Server) runJob(j *Job) {
-	started := time.Now() //plclint:allow detrand -- job service timing feeds Retry-After estimation, never results
+	started := obs.Now() // operational timing only; never feeds results
 	defer func() {
 		if v := recover(); v != nil {
 			err := &par.PanicError{Value: v, Stack: debug.Stack()}
 			j.finish(StateFailed, nil, err.Error())
-			s.finishJob(j, StateFailed, time.Since(started), true) //plclint:allow detrand -- wall-clock service time is operational metadata, not a result
+			s.finishJob(j, StateFailed, obs.Since(started), true)
 		}
 	}()
 	ctx, ok := j.start(s.ctx)
@@ -815,6 +845,9 @@ func (s *Server) runJob(j *Job) {
 		// Cancelled while queued; nothing ran.
 		s.finishJob(j, StateCancelled, 0, false)
 		return
+	}
+	if wait, ok := j.trace.Between(traceQueued, traceRunning); ok {
+		s.metrics.queueWait.Observe(wait.Seconds())
 	}
 	var (
 		ent entry
@@ -832,7 +865,7 @@ func (s *Server) runJob(j *Job) {
 			ent, err = encodeResult(j.key, rep)
 		}
 	}
-	svc := time.Since(started) //plclint:allow detrand -- wall-clock service time is operational metadata, not a result
+	svc := obs.Since(started)
 	state, panicked := classify(ctx, err)
 	if err != nil {
 		j.finish(state, nil, err.Error())
@@ -915,12 +948,10 @@ func (c *pointCache) Get(key string) (*scenario.Report, bool) {
 	if err := json.Unmarshal(ent.json, &res); err != nil || res.Report == nil {
 		return nil, false
 	}
-	s.mu.Lock()
-	s.counters.CampaignPointHits++
+	s.metrics.campaignPointHits.Inc()
 	if disk {
-		s.counters.DiskCacheHits++
+		s.metrics.diskCacheHits.Inc()
 	}
-	s.mu.Unlock()
 	return res.Report, true
 }
 
@@ -943,19 +974,6 @@ func (s *Server) finishJob(j *Job, state State, svc time.Duration, panicked bool
 	if s.inflight[j.key] == j {
 		delete(s.inflight, j.key)
 	}
-	switch state {
-	case StateDone:
-		s.counters.Completed++
-	case StateFailed:
-		s.counters.Failed++
-	case StateCancelled:
-		s.counters.Cancelled++
-	case StateTimedOut:
-		s.counters.TimedOut++
-	}
-	if panicked {
-		s.counters.Panics++
-	}
 	if svc > 0 {
 		s.svcRuns++
 		s.svcTotal += svc
@@ -965,10 +983,35 @@ func (s *Server) finishJob(j *Job, state State, svc time.Duration, panicked bool
 		s.abandoned++
 	}
 	s.mu.Unlock()
+	s.metrics.finished.With(kindOf(j), string(state)).Inc()
+	if panicked {
+		s.metrics.panics.Inc()
+	}
+	if svc > 0 {
+		s.metrics.svcFor(j).Observe(svc.Seconds())
+	}
+	s.observeE2E(j)
 	// Journal outside s.mu: the end record write is disk I/O.
 	if s.journal != nil && j.seq != 0 && !suppress {
 		s.journal.end(j.seq, state)
 	}
+}
+
+// observeE2E folds a terminal job's acceptance-to-terminal latency into
+// the per-kind e2e histogram, read off its trace timeline (cache-hit
+// answers included — their near-zero latencies are the point of the
+// cache, and hiding them would skew the distribution optimistic the
+// other way).
+func (s *Server) observeE2E(j *Job) {
+	stages := j.trace.Stages()
+	if len(stages) < 2 {
+		return
+	}
+	last := stages[len(stages)-1]
+	if !State(last.Name).Terminal() {
+		return
+	}
+	s.metrics.e2eFor(j).Observe(last.At.Sub(stages[0].At).Seconds())
 }
 
 // replay re-admits the journal's unfinished jobs after a restart. It
@@ -1029,9 +1072,7 @@ func (s *Server) replayOne(rec journalRecord) {
 			if j != nil {
 				j.markReplayed()
 			}
-			s.mu.Lock()
-			s.counters.Replayed++
-			s.mu.Unlock()
+			s.metrics.replayed.Inc()
 			s.journal.end(rec.Seq, StateCancelled) // retire the old seq; the resubmission owns a new one
 			return
 		}
